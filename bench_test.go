@@ -1,0 +1,212 @@
+package greenenvy
+
+// One benchmark per table/figure of the paper. Each benchmark regenerates
+// the figure's data on the simulated testbed and reports the headline
+// quantities via b.ReportMetric, so `go test -bench=.` prints the same
+// rows/series the paper reports (in compact metric form).
+//
+// The benchmarks run at a reduced scale (Scale 0.02 → 1 GB instead of
+// 50 GB per CCA-sweep run, 2 repetitions) so the full suite finishes in
+// minutes; cmd/greenbench exposes the same experiments with -scale/-reps
+// up to the paper's full parameters. Steady-state ratios — who wins, by
+// what factor, where crossovers fall — are scale-invariant.
+
+import (
+	"testing"
+
+	"greenenvy/internal/core"
+)
+
+// benchOpts are the shared reduced-scale parameters. The CCA sweep result
+// is cached, so Figures 5–8 share one set of runs, as in the paper.
+func benchOpts() Options { return Options{Reps: 2, Scale: 0.02, Seed: 1} }
+
+func BenchmarkFig1UnfairnessSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig1(Options{Reps: 2, Scale: 0.2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxSavingsPct, "max-savings-%")
+		b.ReportMetric(res.FairEnergyJ, "fair-J")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig2PowerVsThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IdleW, "idle-W")
+		b.ReportMetric(res.HalfRateW, "5Gbps-W")
+		b.ReportMetric(res.LineRateW, "10Gbps-W")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig3ThroughputTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig3(Options{Reps: 1, Scale: 0.2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Fair)+len(res.Serial)), "samples")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig4LoadedHosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig4(Options{Reps: 2, Scale: 0.1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Savings[0].SavingsPct, "savings-0%-load-%")
+		b.ReportMetric(res.Savings[1].SavingsPct, "savings-25%-load-%")
+		b.ReportMetric(res.Savings[3].SavingsPct, "savings-75%-load-%")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig5EnergyPerCCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BBR2OverBBRPct, "bbr2-over-bbr-%")
+		b.ReportMetric(res.BaselinePremiumPct[1500], "baseline-premium-%")
+		b.ReportMetric(res.MTUSavingsPct["cubic"], "cubic-mtu-savings-%")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig6PowerPerCCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EnergyPowerCorr, "corr-energy-power")
+		b.ReportMetric(res.SpreadPct, "power-spread-%")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig7EnergyVsFCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Corr, "corr-fct-energy")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig8EnergyVsRetx(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CorrExclBBR2, "corr-retx-energy")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkWorkloadEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunWorkload(Options{Reps: 1, Scale: 0.02, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].EnergyPerGB, "J/GB-ws-load0.2")
+		b.ReportMetric(res.Points[2].EnergyPerGB, "J/GB-ws-load0.8")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkProductionCCAs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunProduction(Options{Reps: 1, Scale: 0.01, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cell("swift", 9000).EnergyJ[0], "swift-9000-J")
+		b.ReportMetric(res.Cell("hpcc", 9000).EnergyJ[0], "hpcc-9000-J")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkIncast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunIncast(Options{Reps: 2, Scale: 0.05, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].SavingsPct, "savings-n2-%")
+		b.ReportMetric(res.Points[len(res.Points)-1].SavingsPct, "savings-n16-%")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunAblations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fig1SavingsCalibratedPct, "concave-%")
+		b.ReportMetric(res.Fig1SavingsLinearPct, "linear-%")
+	}
+}
+
+func BenchmarkTheorem1(b *testing.B) {
+	p := PaperPowerFunc()
+	y := []float64{7.5e9, 2.5e9}
+	for i := 0; i < b.N; i++ {
+		if _, _, holds, err := CheckTheorem1(p, 10e9, y); err != nil || !holds {
+			b.Fatalf("theorem check failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkSRPTScheduler(b *testing.B) {
+	p := PaperPowerFunc()
+	flows := []core.Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
+	var last Comparison
+	for i := 0; i < b.N; i++ {
+		c, err := CompareSchedulers(flows, 10e9, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.ReportMetric(last.SavingFrac*100, "srpt-savings-%")
+	b.ReportMetric(last.FCTSpeedup, "fct-speedup")
+}

@@ -1,0 +1,99 @@
+package greenenvy
+
+import (
+	"strings"
+	"testing"
+
+	"greenenvy/internal/cca"
+)
+
+// syntheticSweep builds a SweepResult with hand-written numbers so table
+// rendering and derived statistics can be tested without running the
+// simulator.
+func syntheticSweep() *SweepResult {
+	sw := &SweepResult{Bytes: 1_000_000_000, ScaleToPaper: 50}
+	for i, name := range cca.PaperOrder() {
+		for j, mtu := range SweepMTUs {
+			base := 40.0 + float64(i)*2 // energy J, rising in paper order
+			e := base - float64(j)*5    // bigger MTU cheaper
+			fct := 1.0 + 0.1*float64(i) - 0.1*float64(j)
+			sw.Cells = append(sw.Cells, SweepCell{
+				CCA: name, MTU: mtu,
+				EnergyJ: []float64{e, e + 0.5},
+				FCTSecs: []float64{fct, fct},
+				PowerW:  []float64{e / fct, e / fct},
+				Retx:    []float64{float64(i * 100), float64(i * 100)},
+			})
+		}
+	}
+	return sw
+}
+
+func TestSweepCellAccessors(t *testing.T) {
+	sw := syntheticSweep()
+	c := sw.Cell("cubic", 9000)
+	if c == nil {
+		t.Fatal("Cell lookup failed")
+	}
+	if c.CCA != "cubic" || c.MTU != 9000 {
+		t.Fatalf("wrong cell %+v", c)
+	}
+	if sw.Cell("cubic", 1234) != nil {
+		t.Fatal("bogus MTU matched")
+	}
+	if sw.Cell("nope", 9000) != nil {
+		t.Fatal("bogus CCA matched")
+	}
+	if c.MeanEnergyJ() <= 0 || c.MeanFCT() <= 0 || c.MeanPowerW() <= 0 {
+		t.Fatal("means not computed")
+	}
+}
+
+func TestSweepTablesRenderAllCells(t *testing.T) {
+	sw := syntheticSweep()
+	f5 := Fig5Result{Sweep: sw, BaselinePremiumPct: map[int]float64{1500: 10}, MTUSavingsPct: map[string]float64{}}
+	for _, n := range cca.PaperOrder() {
+		f5.MTUSavingsPct[n] = 20
+	}
+	f6 := Fig6Result{Sweep: sw, EnergyPowerCorr: -0.8, SpreadPct: 14}
+	f7 := Fig7Result{Sweep: sw, Corr: 0.9}
+	f8 := Fig8Result{Sweep: sw, CorrExclBBR2: 0.47, BaselineHasMostRetx: true}
+	for _, tbl := range []string{f5.Table(), f6.Table(), f7.Table(), f8.Table()} {
+		for _, name := range cca.PaperOrder() {
+			if !strings.Contains(tbl, name) {
+				t.Fatalf("table missing CCA %q:\n%s", name, tbl)
+			}
+		}
+	}
+	if !strings.Contains(f6.Table(), "-0.80") {
+		t.Fatal("correlation not rendered")
+	}
+	if !strings.Contains(f8.Table(), "0.47") {
+		t.Fatal("retx correlation not rendered")
+	}
+}
+
+func TestSweepCacheReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	o := Options{Reps: 1, Scale: 0.001, Seed: 3}
+	a, err := RunCCASweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCCASweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same options did not hit the sweep cache")
+	}
+	c, err := RunCCASweep(Options{Reps: 1, Scale: 0.001, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different seed reused the cache")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greenenvy"
+)
+
+func fastOpts() greenenvy.Options {
+	return greenenvy.Options{Reps: 1, Scale: 0.004, Seed: 1}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("42", fastOpts(), ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunAnalyticReports(t *testing.T) {
+	for _, fig := range []string{"theorem", "scheduler", "frontier", "ablations"} {
+		if err := run(fig, fastOpts(), ""); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+	}
+}
+
+func TestTheoremReportContent(t *testing.T) {
+	s, err := theoremReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "holds=true") || strings.Contains(s, "holds=false") {
+		t.Fatalf("theorem report:\n%s", s)
+	}
+}
+
+func TestFrontierReportContent(t *testing.T) {
+	s, err := frontierReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "concave=true") {
+		t.Fatalf("frontier report:\n%s", s)
+	}
+}
+
+func TestSchedulerReportContent(t *testing.T) {
+	s, err := schedulerReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "saving 16.3%") {
+		t.Fatalf("scheduler report:\n%s", s)
+	}
+}
+
+func TestRunFigureWithSVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	dir := t.TempDir()
+	if err := run("3", greenenvy.Options{Reps: 1, Scale: 0.02, Seed: 1}, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("fig3.svg is not an SVG")
+	}
+}
+
+func TestGbpsHelper(t *testing.T) {
+	out := gbps([]float64{5e9, 10e9})
+	if out[0] != 5 || out[1] != 10 {
+		t.Fatalf("gbps = %v", out)
+	}
+}

@@ -1,0 +1,91 @@
+// Command greentrace runs a single transfer on the simulated testbed and
+// emits a CSV time series — congestion window, instantaneous throughput,
+// bottleneck queue depth, and sender power — for plotting CCA dynamics.
+//
+// Usage:
+//
+//	greentrace -cca cubic -mtu 9000 -bytes 1000000000 > trace.csv
+//	greentrace -cca bbr -interval 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greenenvy/internal/iperf"
+	"greenenvy/internal/sim"
+	"greenenvy/internal/testbed"
+)
+
+func main() {
+	var (
+		ccaName  = flag.String("cca", "cubic", "congestion control algorithm")
+		mtu      = flag.Int("mtu", 9000, "MTU in bytes")
+		bytes    = flag.Uint64("bytes", 1_000_000_000, "transfer size")
+		interval = flag.Duration("interval", 0, "sample interval (default 1ms simulated)")
+		load     = flag.Float64("load", 0, "background CPU load fraction")
+		target   = flag.Int64("b", 0, "target bitrate (iperf3 -b), 0 = unlimited")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*ccaName, *mtu, *bytes, sim.Duration(*interval), *load, *target, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "greentrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ccaName string, mtu int, bytes uint64, interval sim.Duration, load float64, target int64, seed uint64) error {
+	tb := testbed.New(testbed.Options{Seed: seed, MeasureNoise: 1e-12})
+	if load > 0 {
+		if err := tb.AddLoad(0, load); err != nil {
+			return err
+		}
+	}
+	spec := iperf.Spec{Bytes: bytes, CCA: ccaName, TargetBps: target}
+	spec.Config.MTU = mtu
+	client, err := tb.AddFlow(0, spec)
+	if err != nil {
+		return err
+	}
+
+	step := interval
+	if step <= 0 {
+		step = sim.Millisecond
+	}
+
+	meter := tb.SenderMeter(0)
+	curve := meter.Curve
+	fmt.Println("t_s,cwnd_bytes,inflight_bytes,goodput_gbps,queue_bytes,retransmits,power_w,energy_j")
+	var lastBytes uint64
+	var lastJ float64
+	var sample func()
+	sample = func() {
+		now := tb.Engine.Now()
+		meter.Sync()
+		snd := client.Sender()
+		rcv := client.Receiver()
+		gbps := float64(rcv.TotalReceived-lastBytes) * 8 / step.Seconds() / 1e9
+		lastBytes = rcv.TotalReceived
+		j := meter.Joules()
+		watts := (j - lastJ) / step.Seconds()
+		lastJ = j
+		fmt.Printf("%.6f,%d,%d,%.3f,%d,%d,%.2f,%.3f\n",
+			now.Seconds(), int64(snd.CC().CWnd()), snd.BytesInFlight(), gbps,
+			tb.Net.Bottleneck.Queue().Bytes(), snd.Retransmits, watts, j)
+		if !client.Done() {
+			tb.Engine.After(step, sample)
+		}
+	}
+	tb.Engine.After(step, sample)
+
+	res, err := tb.Run(sim.Duration(bytes/50e6+30) * sim.Second)
+	if err != nil {
+		return err
+	}
+	r := res.Reports[0]
+	fmt.Fprintf(os.Stderr, "# %s  energy=%.1fJ  power=%.2fW  idle-equivalent=%.2fW\n",
+		r.String(), res.SenderEnergyJ[0], res.AvgSenderPowerW, curve.PowerAt(0))
+	return nil
+}

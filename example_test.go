@@ -1,0 +1,59 @@
+package greenenvy_test
+
+import (
+	"fmt"
+
+	"greenenvy"
+)
+
+// The analytic core of the paper in four lines: with a strictly concave
+// power curve, the fair allocation costs strictly more than any unfair one.
+func ExampleCheckTheorem1() {
+	p := greenenvy.PaperPowerFunc()
+	fair, unfair, holds, _ := greenenvy.CheckTheorem1(p, 10e9, []float64{7.5e9, 2.5e9})
+	fmt.Printf("P(fair)=%.2f W  P(unfair)=%.2f W  theorem holds: %v\n", fair, unfair, holds)
+	// Output:
+	// P(fair)=68.46 W  P(unfair)=66.77 W  theorem holds: true
+}
+
+// The §4.1 headline: two 10-Gbit flows on a 10 Gb/s link, fair sharing vs
+// "full speed, then idle".
+func ExampleFullSpeedThenIdle() {
+	p := greenenvy.PaperPowerFunc()
+	flows := []greenenvy.Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
+	fair, _ := greenenvy.FairShare(flows, 10e9)
+	serial, _ := greenenvy.FullSpeedThenIdle(flows, 10e9)
+	saving, _ := greenenvy.SavingsOverFair(serial, 10e9, p)
+	fmt.Printf("fair %.1f J, serial %.1f J, saving %.1f%%\n",
+		fair.Energy(p), serial.Energy(p), saving*100)
+	// Output:
+	// fair 136.9 J, serial 114.6 J, saving 16.3%
+}
+
+// The §5 future-work scheduler: SRPT beats processor sharing on energy and
+// on mean completion time simultaneously.
+func ExampleCompareSchedulers() {
+	p := greenenvy.PaperPowerFunc()
+	flows := []greenenvy.Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
+	c, _ := greenenvy.CompareSchedulers(flows, 10e9, p)
+	fmt.Printf("energy saving %.1f%%, mean-FCT speedup x%.2f\n", c.SavingFrac*100, c.FCTSpeedup)
+	// Output:
+	// energy saving 16.3%, mean-FCT speedup x1.33
+}
+
+// The §4.2 extrapolation: a 1% energy saving across a hyperscale datacenter.
+func ExampleDatacenterCostModel() {
+	usd, _ := greenenvy.PaperDatacenter().YearlySavingsUSD(0.01)
+	fmt.Printf("$%.0fM/year\n", usd/1e6)
+	// Output:
+	// $10M/year
+}
+
+// Verifying the model satisfies the theorem's hypotheses before relying on
+// any of the energy claims.
+func ExampleVerifyAssumptions() {
+	a, _ := greenenvy.VerifyAssumptions(greenenvy.PaperPowerFunc(), 10e9)
+	fmt.Printf("hypotheses hold: %v, attainable saving: %.1f%%\n", a.Holds(), a.MaxSavingsFrac*100)
+	// Output:
+	// hypotheses hold: true, attainable saving: 16.3%
+}

@@ -1,0 +1,64 @@
+// Quickstart: reproduce the paper's headline result in a few lines.
+//
+// Two CUBIC flows share a 10 Gb/s bottleneck, each moving 10 Gbit. We run
+// the TCP fair share and the "full speed, then idle" schedule on the
+// simulated testbed and compare measured sender energy — expect ≈16 %
+// savings for the unfair schedule (Green With Envy, §4.1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greenenvy"
+)
+
+func main() {
+	const flowBytes = 1_250_000_000 // 10 Gbit
+
+	run := func(serial bool) greenenvy.RunResult {
+		tb := greenenvy.NewTestbed(greenenvy.TestbedOptions{Senders: 2, UseDRR: !serial, Seed: 42})
+		c1, err := tb.AddFlow(0, greenenvy.FlowSpec{Bytes: flowBytes, CCA: "cubic"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c2, err := tb.AddFlow(1, greenenvy.FlowSpec{Bytes: flowBytes, CCA: "cubic"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if serial {
+			c2.StartAfter(c1) // full speed, then idle
+		} else {
+			// TCP fair share, imposed exactly with weighted fair
+			// queueing at the bottleneck.
+			if err := tb.SetWeight(c1.Report().Flow, 0.5); err != nil {
+				log.Fatal(err)
+			}
+			if err := tb.SetWeight(c2.Report().Flow, 0.5); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := tb.Run(60 * greenenvy.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fair := run(false)
+	serial := run(true)
+
+	fmt.Println("Green With Envy — quickstart (2 CUBIC flows × 10 Gbit over 10 Gb/s)")
+	fmt.Printf("  fair share:            %6.1f J over %v\n", fair.TotalSenderJ, fair.Duration)
+	fmt.Printf("  full speed, then idle: %6.1f J over %v\n", serial.TotalSenderJ, serial.Duration)
+	savings := (fair.TotalSenderJ - serial.TotalSenderJ) / fair.TotalSenderJ * 100
+	fmt.Printf("  energy savings:        %6.1f %%   (paper: ~16 %%)\n", savings)
+
+	usd, err := greenenvy.PaperDatacenter().YearlySavingsUSD(savings / 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  at datacenter scale:   $%.0fM/year\n", usd/1e6)
+}

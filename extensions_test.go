@@ -1,0 +1,85 @@
+package greenenvy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunIncastSavingsGrowWithFanIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunIncast(Options{Reps: 2, Scale: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Savings are positive at every fan-in (Theorem 1: fair is always
+	// worst) and track the analytic prediction — which is NOT monotone
+	// in n: relative savings peak around n=4 and then shrink because
+	// idle power dominates both schedules at high fan-in.
+	for _, p := range res.Points {
+		if p.SavingsPct <= 0 {
+			t.Fatalf("n=%d savings %.2f%%, want positive", p.Senders, p.SavingsPct)
+		}
+		if math.Abs(p.SavingsPct-p.AnalyticPct) > 5 {
+			t.Fatalf("n=%d measured %.2f%% vs analytic %.2f%%", p.Senders, p.SavingsPct, p.AnalyticPct)
+		}
+	}
+	// Two senders reproduce the headline.
+	if res.Points[0].SavingsPct < 10 {
+		t.Fatalf("n=2 savings = %.2f%%, want ~16%%", res.Points[0].SavingsPct)
+	}
+	if !strings.Contains(res.Table(), "Incast") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunSameSenderSavingsVanish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunSameSender(Options{Reps: 2, Scale: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On one host, the schedule barely matters (< 3% either way)...
+	if math.Abs(res.SavingsPct) > 3 {
+		t.Fatalf("same-sender savings = %.2f%%, want ~0", res.SavingsPct)
+	}
+	// ... while the two-host reference shows the paper's effect.
+	if res.TwoHostSavingsPct < 10 {
+		t.Fatalf("two-host reference = %.2f%%, want ~16%%", res.TwoHostSavingsPct)
+	}
+	if !strings.Contains(res.Table(), "Same-sender") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	res, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fig1SavingsCalibratedPct-16.3) > 1 {
+		t.Fatalf("calibrated savings = %.2f%%, want ~16.3%%", res.Fig1SavingsCalibratedPct)
+	}
+	if math.Abs(res.Fig1SavingsLinearPct) > 1 {
+		t.Fatalf("linear-curve savings = %.2f%%, want ~0 (concavity is load-bearing)", res.Fig1SavingsLinearPct)
+	}
+	if res.Fig1SavingsConvexPct >= 0 {
+		t.Fatalf("convex-curve savings = %.2f%%, want negative", res.Fig1SavingsConvexPct)
+	}
+	if res.MTUSavingsCalibratedPct < 10 {
+		t.Fatalf("MTU savings = %.2f%%, want substantial", res.MTUSavingsCalibratedPct)
+	}
+	if math.Abs(res.MTUSavingsNoPerPacketPct) > 2 {
+		t.Fatalf("MTU savings without per-packet cost = %.2f%%, want ~0", res.MTUSavingsNoPerPacketPct)
+	}
+	if !strings.Contains(res.Table(), "Ablations") {
+		t.Fatal("table header missing")
+	}
+}

@@ -1,0 +1,196 @@
+package greenenvy
+
+import (
+	"fmt"
+
+	"greenenvy/internal/cca"
+	"greenenvy/internal/plot"
+)
+
+// This file renders each experiment result as a self-contained SVG figure
+// mirroring the paper's plots. greenbench's -svg flag writes them to disk.
+
+// SVG renders Figure 1: savings vs bandwidth fraction.
+func (r Fig1Result) SVG() (string, error) {
+	measured := plot.Series{Name: "measured"}
+	analytic := plot.Series{Name: "analytic"}
+	for _, p := range r.Points {
+		measured.X = append(measured.X, p.Fraction*100)
+		measured.Y = append(measured.Y, p.SavingsPct)
+		analytic.X = append(analytic.X, p.Fraction*100)
+		analytic.Y = append(analytic.Y, p.AnalyticSavingsPct)
+	}
+	return plot.Chart{
+		Title:  "Figure 1 — energy savings vs bandwidth fraction to flow 1",
+		XLabel: "fraction of bandwidth allocated to flow 1 (%)",
+		YLabel: "energy savings over fair allocation (%)",
+		Kind:   "line",
+		Series: []plot.Series{measured, analytic},
+	}.SVG()
+}
+
+// SVG renders Figure 2: power vs throughput with the tangent line.
+func (r Fig2Result) SVG() (string, error) {
+	smooth := plot.Series{Name: "sending smoothly"}
+	tangent := plot.Series{Name: "full speed, then idle"}
+	for _, p := range r.Points {
+		smooth.X = append(smooth.X, p.Gbps)
+		smooth.Y = append(smooth.Y, p.SmoothW)
+		tangent.X = append(tangent.X, p.Gbps)
+		tangent.Y = append(tangent.Y, p.TangentW)
+	}
+	return plot.Chart{
+		Title:  "Figure 2 — sender power vs throughput (CUBIC)",
+		XLabel: "average throughput (Gbps)",
+		YLabel: "average power (W)",
+		Kind:   "line",
+		Series: []plot.Series{smooth, tangent},
+	}.SVG()
+}
+
+// SVG renders Figure 3: the two throughput traces on one plane.
+func (r Fig3Result) SVG() (string, error) {
+	mk := func(samples []Fig3Sample, idx int, name string) plot.Series {
+		s := plot.Series{Name: name}
+		for _, p := range samples {
+			s.X = append(s.X, p.Seconds)
+			s.Y = append(s.Y, p.Gbps[idx])
+		}
+		return s
+	}
+	return plot.Chart{
+		Title:  "Figure 3 — throughput over time (fair vs serial)",
+		XLabel: "time (s)",
+		YLabel: "throughput (Gbps)",
+		Kind:   "line",
+		Series: []plot.Series{
+			mk(r.Fair, 0, "fair flow 1"),
+			mk(r.Fair, 1, "fair flow 2"),
+			mk(r.Serial, 0, "serial flow 1"),
+			mk(r.Serial, 1, "serial flow 2"),
+		},
+	}.SVG()
+}
+
+// SVG renders Figure 4: power vs bitrate per load level.
+func (r Fig4Result) SVG() (string, error) {
+	byLoad := map[float64]*plot.Series{}
+	var order []float64
+	for _, p := range r.Points {
+		s, ok := byLoad[p.Load]
+		if !ok {
+			s = &plot.Series{Name: fmt.Sprintf("%.0f%% load", p.Load*100)}
+			byLoad[p.Load] = s
+			order = append(order, p.Load)
+		}
+		s.X = append(s.X, p.Gbps)
+		s.Y = append(s.Y, p.MeanW)
+	}
+	var series []plot.Series
+	for _, l := range order {
+		plot.SortSeriesByX(byLoad[l])
+		series = append(series, *byLoad[l])
+	}
+	return plot.Chart{
+		Title:  "Figure 4 — sender power vs bitrate under background load",
+		XLabel: "bitrate (Gbps)",
+		YLabel: "average power (W)",
+		Kind:   "line",
+		Series: series,
+	}.SVG()
+}
+
+// sweepBars builds the grouped-bar chart shared by Figures 5 and 6.
+func sweepBars(sw *SweepResult, title, ylabel string, value func(*SweepCell) float64) (string, error) {
+	names := cca.PaperOrder()
+	var series []plot.Series
+	for _, mtu := range SweepMTUs {
+		s := plot.Series{Name: fmt.Sprintf("MTU %d", mtu)}
+		for i, name := range names {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, value(sw.Cell(name, mtu)))
+		}
+		series = append(series, s)
+	}
+	return plot.Chart{
+		Title: title, XLabel: "CC algorithm", YLabel: ylabel,
+		Kind: "bar", Series: series, XTickLabels: names, Width: 900,
+	}.SVG()
+}
+
+// SVG renders Figure 5: energy per CCA × MTU (kJ at 50 GB scale).
+func (r Fig5Result) SVG() (string, error) {
+	return sweepBars(r.Sweep, "Figure 5 — energy to transmit 50 GB", "average energy (kJ)",
+		func(c *SweepCell) float64 { return c.MeanEnergyJ() * r.Sweep.ScaleToPaper / 1000 })
+}
+
+// SVG renders Figure 6: average power per CCA × MTU.
+func (r Fig6Result) SVG() (string, error) {
+	return sweepBars(r.Sweep, "Figure 6 — rate of energy consumption", "average power (W)",
+		func(c *SweepCell) float64 { return c.MeanPowerW() })
+}
+
+// scatterByCCA builds per-CCA scatter series from the sweep.
+func scatterByCCA(sw *SweepResult, x func(*SweepCell, int) float64, y func(*SweepCell, int) float64) []plot.Series {
+	var series []plot.Series
+	for _, name := range cca.PaperOrder() {
+		s := plot.Series{Name: name}
+		for _, mtu := range SweepMTUs {
+			c := sw.Cell(name, mtu)
+			for i := range c.EnergyJ {
+				s.X = append(s.X, x(c, i))
+				s.Y = append(s.Y, y(c, i))
+			}
+		}
+		series = append(series, s)
+	}
+	return series
+}
+
+// SVG renders Figure 7: energy vs completion time (50 GB scale).
+func (r Fig7Result) SVG() (string, error) {
+	k := r.Sweep.ScaleToPaper
+	return plot.Chart{
+		Title:  "Figure 7 — energy vs flow completion time",
+		XLabel: "iperf time (s, 50 GB scale)",
+		YLabel: "energy (kJ, 50 GB scale)",
+		Kind:   "scatter",
+		Series: scatterByCCA(r.Sweep,
+			func(c *SweepCell, i int) float64 { return c.FCTSecs[i] * k },
+			func(c *SweepCell, i int) float64 { return c.EnergyJ[i] * k / 1000 }),
+	}.SVG()
+}
+
+// SVG renders Figure 8: energy vs retransmissions (log x).
+func (r Fig8Result) SVG() (string, error) {
+	k := r.Sweep.ScaleToPaper
+	return plot.Chart{
+		Title:  "Figure 8 — energy vs retransmissions",
+		XLabel: "retransmissions (packets, 50 GB scale, log)",
+		YLabel: "energy (kJ, 50 GB scale)",
+		Kind:   "scatter",
+		LogX:   true,
+		Series: scatterByCCA(r.Sweep,
+			func(c *SweepCell, i int) float64 { return c.Retx[i]*k + 1 },
+			func(c *SweepCell, i int) float64 { return c.EnergyJ[i] * k / 1000 }),
+	}.SVG()
+}
+
+// SVG renders the incast extension sweep.
+func (r IncastResult) SVG() (string, error) {
+	measured := plot.Series{Name: "measured"}
+	analytic := plot.Series{Name: "analytic"}
+	for _, p := range r.Points {
+		measured.X = append(measured.X, float64(p.Senders))
+		measured.Y = append(measured.Y, p.SavingsPct)
+		analytic.X = append(analytic.X, float64(p.Senders))
+		analytic.Y = append(analytic.Y, p.AnalyticPct)
+	}
+	return plot.Chart{
+		Title:  "Incast — serial-schedule savings vs fan-in",
+		XLabel: "synchronized senders",
+		YLabel: "energy savings (%)",
+		Kind:   "line",
+		Series: []plot.Series{measured, analytic},
+	}.SVG()
+}

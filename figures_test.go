@@ -1,0 +1,54 @@
+package greenenvy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureSVGsRenderFromSyntheticData(t *testing.T) {
+	f1 := Fig1Result{Points: []Fig1Point{
+		{Fraction: 0.5, SavingsPct: 0, AnalyticSavingsPct: 0},
+		{Fraction: 1.0, SavingsPct: 16, AnalyticSavingsPct: 16.3},
+	}}
+	f2 := Fig2Result{Points: []Fig2Point{
+		{Gbps: 0, SmoothW: 21.5, TangentW: 21.5},
+		{Gbps: 10, SmoothW: 35.8, TangentW: 35.8},
+	}}
+	f3 := Fig3Result{
+		Fair:   []Fig3Sample{{Seconds: 0.01, Gbps: [2]float64{5, 5}}},
+		Serial: []Fig3Sample{{Seconds: 0.01, Gbps: [2]float64{10, 0}}},
+	}
+	f4 := Fig4Result{Points: []Fig4Point{
+		{Load: 0, Gbps: 5, MeanW: 34},
+		{Load: 0, Gbps: 10, MeanW: 36},
+		{Load: 0.5, Gbps: 5, MeanW: 85},
+		{Load: 0.5, Gbps: 10, MeanW: 86},
+	}}
+	sw := syntheticSweep()
+	f5 := Fig5Result{Sweep: sw}
+	f6 := Fig6Result{Sweep: sw}
+	f7 := Fig7Result{Sweep: sw}
+	f8 := Fig8Result{Sweep: sw}
+	inc := IncastResult{Points: []IncastPoint{
+		{Senders: 2, SavingsPct: 16, AnalyticPct: 16.3},
+		{Senders: 4, SavingsPct: 19, AnalyticPct: 20.5},
+	}}
+
+	cases := map[string]interface{ SVG() (string, error) }{
+		"fig1": f1, "fig2": f2, "fig3": f3, "fig4": f4,
+		"fig5": f5, "fig6": f6, "fig7": f7, "fig8": f8,
+		"incast": inc,
+	}
+	for name, r := range cases {
+		svg, err := r.SVG()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Fatalf("%s: malformed SVG", name)
+		}
+		if !strings.Contains(svg, "Figure") && name != "incast" {
+			t.Fatalf("%s: title missing", name)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module greenenvy
+
+go 1.22

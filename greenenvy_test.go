@@ -1,0 +1,320 @@
+package greenenvy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns fast options for CI-grade runs: 1/50 of the paper's
+// transfer sizes, 2 repetitions.
+func tiny() Options { return Options{Reps: 2, Scale: 0.02, Seed: 7} }
+
+func TestRunFig1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunFig1(Options{Reps: 2, Scale: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 11 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[0].Fraction != 0.5 || math.Abs(res.Points[0].SavingsPct) > 1e-9 {
+		t.Fatalf("fair point wrong: %+v", res.Points[0])
+	}
+	// Headline: the serial extreme saves ~16%.
+	last := res.Points[len(res.Points)-1]
+	if last.SavingsPct < 12 || last.SavingsPct > 20 {
+		t.Fatalf("extreme savings = %.2f%%, want ~16%%", last.SavingsPct)
+	}
+	// Shape: savings roughly increase away from fair (tolerate small
+	// measurement wobble between adjacent points).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].SavingsPct < res.Points[i-1].SavingsPct-1.5 {
+			t.Fatalf("savings regressed at f=%v: %v after %v",
+				res.Points[i].Fraction, res.Points[i].SavingsPct, res.Points[i-1].SavingsPct)
+		}
+	}
+	// Jain index decreases with unfairness.
+	if res.Points[0].JainIndex < 0.98 {
+		t.Fatalf("fair point Jain = %v, want ~1", res.Points[0].JainIndex)
+	}
+	if math.Abs(last.JainIndex-0.5) > 1e-9 {
+		t.Fatalf("serial point Jain = %v, want 0.5", last.JainIndex)
+	}
+	// Analytic prediction agrees with measurement at the extreme.
+	if math.Abs(last.SavingsPct-last.AnalyticSavingsPct) > 4 {
+		t.Fatalf("measured %v%% vs analytic %v%% diverge", last.SavingsPct, last.AnalyticSavingsPct)
+	}
+	if !strings.Contains(res.Table(), "Figure 1") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunFig2ConcaveCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunFig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 11 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if math.Abs(res.IdleW-21.49) > 0.1 {
+		t.Fatalf("idle = %v, want 21.49", res.IdleW)
+	}
+	if math.Abs(res.HalfRateW-34.23) > 1.5 {
+		t.Fatalf("5 Gb/s = %v, want ~34.23", res.HalfRateW)
+	}
+	if math.Abs(res.LineRateW-35.82) > 1.5 {
+		t.Fatalf("10 Gb/s = %v, want ~35.82", res.LineRateW)
+	}
+	// Strictly increasing and concave (first differences decreasing).
+	prevW, prevD := res.Points[0].SmoothW, math.Inf(1)
+	for _, p := range res.Points[1:] {
+		if p.SmoothW <= prevW {
+			t.Fatalf("power not increasing at %v Gb/s", p.Gbps)
+		}
+		d := p.SmoothW - prevW
+		if d >= prevD+0.3 {
+			t.Fatalf("marginal power increased at %v Gb/s: %v after %v", p.Gbps, d, prevD)
+		}
+		prevW, prevD = p.SmoothW, d
+	}
+	// Tangent strictly below smooth in the interior.
+	for _, p := range res.Points[1 : len(res.Points)-1] {
+		if p.TangentW >= p.SmoothW {
+			t.Fatalf("tangent %v >= smooth %v at %v Gb/s", p.TangentW, p.SmoothW, p.Gbps)
+		}
+	}
+	if !strings.Contains(res.Table(), "Figure 2") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunFig3Traces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunFig3(Options{Reps: 1, Scale: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fair) == 0 || len(res.Serial) == 0 {
+		t.Fatal("empty traces")
+	}
+	// Fair trace: mid-run both flows near 5 Gb/s.
+	mid := res.Fair[len(res.Fair)/2]
+	if math.Abs(mid.Gbps[0]-5) > 1.5 || math.Abs(mid.Gbps[1]-5) > 1.5 {
+		t.Fatalf("fair mid-run = %v, want ~5/5", mid.Gbps)
+	}
+	// Serial trace: early samples have flow 1 at ~10 and flow 2 at ~0.
+	early := res.Serial[len(res.Serial)/4]
+	if early.Gbps[0] < 8 || early.Gbps[1] > 1 {
+		t.Fatalf("serial early = %v, want ~10/0", early.Gbps)
+	}
+	// And late samples the reverse.
+	late := res.Serial[len(res.Serial)*3/4]
+	if late.Gbps[1] < 8 || late.Gbps[0] > 1 {
+		t.Fatalf("serial late = %v, want ~0/10", late.Gbps)
+	}
+	if !strings.Contains(res.Table(), "Figure 3") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunFig4LoadedCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunFig4(Options{Reps: 2, Scale: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLoad := map[float64][]Fig4Point{}
+	for _, p := range res.Points {
+		byLoad[p.Load] = append(byLoad[p.Load], p)
+	}
+	// Higher load strictly raises power at every bitrate.
+	for i, load := range []float64{0.25, 0.50, 0.75} {
+		lower := []float64{0, 0.25, 0.50}[i]
+		for j := range byLoad[load] {
+			if byLoad[load][j].MeanW <= byLoad[lower][j].MeanW {
+				t.Fatalf("power at load %v not above load %v", load, lower)
+			}
+		}
+	}
+	// Unloaded curve hits the Fig 2 anchors approximately.
+	for _, p := range byLoad[0] {
+		if p.Gbps == 10 && math.Abs(p.MeanW-35.8) > 2 {
+			t.Fatalf("unloaded 10G = %v, want ~35.8", p.MeanW)
+		}
+	}
+	// §4.2 savings: clearly positive at low loads, decreasing with load.
+	// At 75% load the paper's 0.17% is below this reduced-scale run's
+	// measurement noise, so only require it to be ~zero (the closed-form
+	// value is asserted analytically in internal/energy).
+	prev := math.Inf(1)
+	for _, s := range res.Savings {
+		if s.Load <= 0.25 && s.SavingsPct <= 0 {
+			t.Fatalf("savings at load %v = %v, want positive", s.Load, s.SavingsPct)
+		}
+		if s.Load > 0.25 && math.Abs(s.SavingsPct) > 1.0 {
+			t.Fatalf("savings at load %v = %v, want ~0 within noise", s.Load, s.SavingsPct)
+		}
+		if s.SavingsPct >= prev+0.5 {
+			t.Fatalf("savings did not shrink with load: %v", res.Savings)
+		}
+		prev = s.SavingsPct
+	}
+	if res.Savings[0].SavingsPct < 12 {
+		t.Fatalf("unloaded savings = %v, want ~16", res.Savings[0].SavingsPct)
+	}
+	if res.DollarsPerYearAt1Pct != 10_000_000 {
+		t.Fatalf("extrapolation = %v", res.DollarsPerYearAt1Pct)
+	}
+	if !strings.Contains(res.Table(), "Figure 4") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRunCCASweepFigures5678(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	o := tiny()
+	sw, err := RunCCASweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Cells) != 40 {
+		t.Fatalf("cells = %d, want 40", len(sw.Cells))
+	}
+
+	f5, err := RunFig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline costs more than the real loss-based CCAs.
+	for _, mtu := range SweepMTUs {
+		if f5.BaselinePremiumPct[mtu] <= 0 {
+			t.Errorf("baseline premium at mtu %d = %v, want positive", mtu, f5.BaselinePremiumPct[mtu])
+		}
+	}
+	// BBR2 alpha markedly worse than BBR v1.
+	if f5.BBR2OverBBRPct < 15 {
+		t.Errorf("bbr2 over bbr = %v%%, want large (~40%%)", f5.BBR2OverBBRPct)
+	}
+	// Bigger MTU always saves energy.
+	for name, sav := range f5.MTUSavingsPct {
+		if sav <= 0 {
+			t.Errorf("MTU savings for %s = %v, want positive", name, sav)
+		}
+	}
+
+	f6, err := RunFig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f6.EnergyPowerCorr < 0) {
+		t.Errorf("corr(energy, power) = %v, want negative (paper -0.8)", f6.EnergyPowerCorr)
+	}
+
+	f7, err := RunFig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Corr < 0.5 {
+		t.Errorf("corr(fct, energy) = %v, want strongly positive", f7.Corr)
+	}
+	if !(f7.Cluster1500FCT > f7.ClusterBigFCT && f7.Cluster1500Energy > f7.ClusterBigEnergy) {
+		t.Errorf("MTU-1500 cluster should dominate both axes: %+v", f7)
+	}
+
+	f8, err := RunFig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw overall statistic is diluted by the MTU axis (see
+	// EXPERIMENTS.md); it must at least not be negative. Controlled for
+	// MTU, loss and energy must correlate strongly.
+	if f8.CorrExclBBR2 < -0.1 {
+		t.Errorf("corr(retx, energy) = %v, want non-negative", f8.CorrExclBBR2)
+	}
+	if f8.WithinMTUCorr < 0.5 {
+		t.Errorf("within-MTU corr(retx, energy) = %v, want strongly positive", f8.WithinMTUCorr)
+	}
+	if !f8.BaselineHasMostRetx {
+		t.Error("baseline should have the most retransmissions at every MTU")
+	}
+
+	for _, tbl := range []string{f5.Table(), f6.Table(), f7.Table(), f8.Table()} {
+		if !strings.Contains(tbl, "Figure") {
+			t.Error("table header missing")
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale > 1 did not panic")
+		}
+	}()
+	Options{Scale: 2}.withDefaults()
+}
+
+func TestPaperOptions(t *testing.T) {
+	p := Paper()
+	if p.Reps != 10 || p.Scale != 1.0 {
+		t.Fatalf("Paper() = %+v", p)
+	}
+}
+
+func TestPublicAPITheorem(t *testing.T) {
+	p := PaperPowerFunc()
+	if !IsStrictlyConcave(p, 10e9, 200) {
+		t.Fatal("paper curve not concave via public API")
+	}
+	fair, y, holds, err := CheckTheorem1(p, 10e9, []float64{10e9, 0})
+	if err != nil || !holds || fair <= y {
+		t.Fatalf("theorem via public API: fair=%v y=%v holds=%v err=%v", fair, y, holds, err)
+	}
+}
+
+func TestPublicAPISchedulers(t *testing.T) {
+	flows := []Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
+	cmp, err := CompareSchedulers(flows, 10e9, PaperPowerFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SavingFrac < 0.14 || cmp.SavingFrac > 0.19 {
+		t.Fatalf("SRPT saving = %v, want ~0.16", cmp.SavingFrac)
+	}
+}
+
+func TestPublicAPIFrontier(t *testing.T) {
+	p := PaperPowerFunc()
+	a, err := VerifyAssumptions(p, 10e9)
+	if err != nil || !a.Holds() {
+		t.Fatalf("assumptions: %+v err=%v", a, err)
+	}
+	pts, err := FairnessEnergyFrontier(1.25e9, 10e9, p, 5)
+	if err != nil || len(pts) != 5 {
+		t.Fatalf("frontier: %v err=%v", pts, err)
+	}
+	if pts[4].SavingsFrac < 0.15 {
+		t.Fatalf("frontier endpoint savings = %v", pts[4].SavingsFrac)
+	}
+}
+
+func TestCCANamesOrder(t *testing.T) {
+	names := CCANames()
+	if len(names) != 10 || names[0] != "bbr" || names[9] != "bbr2" {
+		t.Fatalf("CCANames = %v", names)
+	}
+}

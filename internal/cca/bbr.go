@@ -1,0 +1,339 @@
+package cca
+
+import (
+	"greenenvy/internal/sim"
+)
+
+// BBR implements BBR v1 (Cardwell et al., CACM 2017) at the level of detail
+// the testbed needs: a windowed-max bottleneck-bandwidth filter, a
+// windowed-min propagation-delay filter, and the four-state machine
+// (Startup, Drain, ProbeBW with an eight-phase gain cycle, ProbeRTT). BBR
+// paces every packet; loss is ignored except for keeping the RTO machinery
+// honest.
+type BBR struct {
+	params bbrParams
+
+	state     bbrState
+	btlBw     winMax // bytes/second, max over bwWindowRounds rounds
+	rtProp    sim.Duration
+	rtPropAt  sim.Time
+	pacing    float64 // bits/second
+	cwnd      float64 // bytes
+	cycleIdx  int
+	cycleAt   sim.Time
+	fullBw    float64
+	fullBwCnt int
+
+	round          uint64
+	nextRoundAt    uint64 // delivered count starting the next round
+	probeRTTDoneAt sim.Time
+	priorCwnd      float64
+	inflightHi     float64 // bbr2 only: loss-bounded inflight cap
+	lastLossRound  uint64
+	mss            float64
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+// bbrParams separate v1 from the v2 alpha. The v2 alpha constants encode
+// the conservatism (and immaturity) the paper observed: it cruises below
+// the estimated bandwidth, probes less aggressively, spends more time in
+// ProbeRTT, and responds to loss by capping inflight — the combination that
+// makes it ~40 % less energy-efficient end to end (Fig 5) despite drawing
+// the lowest instantaneous power (Fig 6).
+type bbrParams struct {
+	name           string
+	startupGain    float64
+	cruiseGain     float64 // pacing gain in steady phases
+	probeUpGain    float64
+	probeDownGain  float64
+	cwndGain       float64
+	bwWindowRounds uint64
+	rtPropWindow   sim.Duration
+	probeRTTEvery  sim.Duration
+	probeRTTDur    sim.Duration
+	lossResponse   float64 // 0 = ignore loss (v1); else inflight_hi factor
+	headroom       float64 // fraction of inflight_hi usable (1 = all)
+}
+
+func bbrV1Params() bbrParams {
+	return bbrParams{
+		name:           "bbr",
+		startupGain:    2.885,
+		cruiseGain:     1.0,
+		probeUpGain:    1.25,
+		probeDownGain:  0.75,
+		cwndGain:       2.0,
+		bwWindowRounds: 10,
+		rtPropWindow:   10 * sim.Second,
+		probeRTTEvery:  10 * sim.Second,
+		probeRTTDur:    200 * sim.Millisecond,
+		lossResponse:   0,
+		headroom:       1.0,
+	}
+}
+
+func bbrV2AlphaParams() bbrParams {
+	return bbrParams{
+		name:        "bbr2",
+		startupGain: 2.0, // slower startup than v1
+		// The paper measures the alpha release ~40% less energy
+		// efficient end to end than v1 without identifying a root
+		// cause ("might be lacking efficient implementation or prone
+		// to undiscovered bugs", §4.3). We reproduce the observed
+		// behaviour as sustained under-utilization: the alpha cruises
+		// far below its bandwidth estimate while periodic probe
+		// phases keep the estimate itself accurate.
+		cruiseGain:     0.65,
+		probeUpGain:    1.25,
+		probeDownGain:  0.7,
+		cwndGain:       2.0,
+		bwWindowRounds: 10,
+		rtPropWindow:   10 * sim.Second,
+		probeRTTEvery:  5 * sim.Second, // probes RTT twice as often
+		probeRTTDur:    200 * sim.Millisecond,
+		lossResponse:   0.7,
+		headroom:       0.85,
+	}
+}
+
+func init() {
+	Register("bbr", func() CongestionControl { return &BBR{params: bbrV1Params()} })
+	Register("bbr2", func() CongestionControl { return &BBR{params: bbrV2AlphaParams()} })
+}
+
+// NewBBR returns a BBR v1 instance.
+func NewBBR() *BBR { return &BBR{params: bbrV1Params()} }
+
+// NewBBR2 returns the BBRv2 alpha instance.
+func NewBBR2() *BBR { return &BBR{params: bbrV2AlphaParams()} }
+
+// Name implements CongestionControl.
+func (b *BBR) Name() string { return b.params.name }
+
+// Init implements CongestionControl.
+func (b *BBR) Init(c Conn) {
+	b.mss = float64(c.MSS())
+	b.state = bbrStartup
+	b.cwnd = 10 * b.mss
+	// Until the first rate sample, pace at a nominal 1 Gb/s so startup
+	// is not serialized by an absent estimate.
+	b.pacing = 1e9 * b.params.startupGain
+	b.inflightHi = 1 << 40
+}
+
+// OnAck implements CongestionControl.
+func (b *BBR) OnAck(c Conn, info AckInfo) {
+	now := c.Now()
+
+	// Round accounting.
+	if info.Delivered >= b.nextRoundAt {
+		b.round++
+		b.nextRoundAt = info.Delivered + uint64(c.BytesInFlight())
+	}
+
+	// The staleness check must precede the filter refresh: an expired
+	// rtProp both triggers ProbeRTT and allows the estimate to rise.
+	rtExpired := b.rtProp > 0 && now-b.rtPropAt > b.params.probeRTTEvery
+
+	// Update filters.
+	if info.DeliveryRate > 0 && (!info.AppLimited || info.DeliveryRate > b.btlBw.Get()) {
+		b.btlBw.Update(info.DeliveryRate, b.round, b.params.bwWindowRounds)
+	}
+	if info.RTT > 0 {
+		if b.rtProp == 0 || info.RTT <= b.rtProp || now-b.rtPropAt > b.params.rtPropWindow {
+			b.rtProp = info.RTT
+			b.rtPropAt = now
+		}
+	}
+
+	b.advanceStateMachine(c, now, rtExpired)
+	b.setPacingAndCwnd(c)
+}
+
+func (b *BBR) advanceStateMachine(c Conn, now sim.Time, rtExpired bool) {
+	switch b.state {
+	case bbrStartup:
+		// Exit when bandwidth stops growing ≥25% for three rounds.
+		bw := b.btlBw.Get()
+		if bw > b.fullBw*1.25 {
+			b.fullBw = bw
+			b.fullBwCnt = 0
+		} else if bw > 0 {
+			b.fullBwCnt++
+			if b.fullBwCnt >= 3 {
+				b.state = bbrDrain
+			}
+		}
+	case bbrDrain:
+		if float64(c.BytesInFlight()) <= b.bdp(1.0) {
+			b.enterProbeBW(now)
+		}
+	case bbrProbeBW:
+		// Advance the gain cycle once per rtProp.
+		phase := b.rtProp
+		if phase <= 0 {
+			phase = sim.Millisecond
+		}
+		if now-b.cycleAt >= phase {
+			b.cycleIdx = (b.cycleIdx + 1) % 8
+			b.cycleAt = now
+		}
+		// Enter ProbeRTT when the rtProp estimate is stale.
+		if rtExpired {
+			b.state = bbrProbeRTT
+			b.priorCwnd = b.cwnd
+			b.probeRTTDoneAt = now + b.params.probeRTTDur
+		}
+	case bbrProbeRTT:
+		if now >= b.probeRTTDoneAt {
+			b.rtPropAt = now // refreshed by draining the pipe
+			b.cwnd = b.priorCwnd
+			b.enterProbeBW(now)
+		}
+	}
+}
+
+func (b *BBR) enterProbeBW(now sim.Time) {
+	b.state = bbrProbeBW
+	b.cycleIdx = 2 // start in a cruise phase
+	b.cycleAt = now
+}
+
+// bdp returns gain × estimated bandwidth-delay product in bytes.
+func (b *BBR) bdp(gain float64) float64 {
+	bw := b.btlBw.Get()
+	if bw == 0 || b.rtProp == 0 {
+		return gain * 10 * b.mss
+	}
+	return gain * bw * b.rtProp.Seconds()
+}
+
+func (b *BBR) gain() float64 {
+	switch b.state {
+	case bbrStartup:
+		return b.params.startupGain
+	case bbrDrain:
+		return 1 / b.params.startupGain
+	case bbrProbeRTT:
+		return 1.0
+	default:
+		switch b.cycleIdx {
+		case 0:
+			return b.params.probeUpGain
+		case 1:
+			return b.params.probeDownGain
+		default:
+			return b.params.cruiseGain
+		}
+	}
+}
+
+func (b *BBR) setPacingAndCwnd(c Conn) {
+	bw := b.btlBw.Get() // bytes/second
+	if bw > 0 {
+		b.pacing = 8 * bw * b.gain()
+	}
+	switch b.state {
+	case bbrProbeRTT:
+		b.cwnd = 4 * b.mss
+	default:
+		cw := b.bdp(b.params.cwndGain)
+		cap := b.inflightHi * b.params.headroom
+		if cw > cap {
+			cw = cap
+		}
+		if cw < 4*b.mss {
+			cw = 4 * b.mss
+		}
+		b.cwnd = cw
+	}
+}
+
+// OnLoss implements CongestionControl. v1 ignores loss; the v2 alpha caps
+// inflight at lossResponse × the inflight level where loss occurred, at
+// most once per round.
+func (b *BBR) OnLoss(c Conn) {
+	if b.params.lossResponse == 0 || b.round == b.lastLossRound {
+		return
+	}
+	b.lastLossRound = b.round
+	hi := float64(c.BytesInFlight()) * b.params.lossResponse
+	if hi < 4*b.mss {
+		hi = 4 * b.mss
+	}
+	b.inflightHi = hi
+}
+
+// OnRTO implements CongestionControl: collapse the window but keep the
+// model (as Linux BBR does, modulo conservation details).
+func (b *BBR) OnRTO(c Conn) {
+	b.cwnd = float64(c.MSS())
+}
+
+// CWnd implements CongestionControl.
+func (b *BBR) CWnd() float64 { return b.cwnd }
+
+// PacingRate implements CongestionControl (bits/second).
+func (b *BBR) PacingRate() float64 { return b.pacing }
+
+// ECNCapable implements CongestionControl.
+func (b *BBR) ECNCapable() bool { return false }
+
+// State exposes the current state for tests ("startup", "drain", ...).
+func (b *BBR) State() string {
+	switch b.state {
+	case bbrStartup:
+		return "startup"
+	case bbrDrain:
+		return "drain"
+	case bbrProbeBW:
+		return "probe_bw"
+	default:
+		return "probe_rtt"
+	}
+}
+
+// BtlBw exposes the bandwidth estimate (bytes/second) for tests.
+func (b *BBR) BtlBw() float64 { return b.btlBw.Get() }
+
+// winMax is a compact windowed-max filter (Nichols-style, three samples)
+// keyed by round number.
+type winMax struct {
+	v [3]float64
+	r [3]uint64
+}
+
+// Update inserts a sample for the given round with the given window length
+// in rounds.
+func (w *winMax) Update(value float64, round, window uint64) {
+	if value >= w.v[0] || round-w.r[0] > window {
+		w.v = [3]float64{value, value, value}
+		w.r = [3]uint64{round, round, round}
+		return
+	}
+	if value >= w.v[1] {
+		w.v[1], w.v[2] = value, value
+		w.r[1], w.r[2] = round, round
+	} else if value >= w.v[2] {
+		w.v[2] = value
+		w.r[2] = round
+	}
+	// Age out the best sample when it leaves the window.
+	if round-w.r[0] > window {
+		w.v[0], w.v[1] = w.v[1], w.v[2]
+		w.r[0], w.r[1] = w.r[1], w.r[2]
+		w.v[2] = value
+		w.r[2] = round
+	}
+}
+
+// Get returns the current windowed maximum.
+func (w *winMax) Get() float64 { return w.v[0] }

@@ -1,0 +1,500 @@
+package cca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenenvy/internal/sim"
+)
+
+// fakeConn is a scriptable cca.Conn for unit tests.
+type fakeConn struct {
+	now      sim.Time
+	mss      int
+	srtt     sim.Duration
+	minRTT   sim.Duration
+	inflight int
+}
+
+func (f *fakeConn) Now() sim.Time        { return f.now }
+func (f *fakeConn) MSS() int             { return f.mss }
+func (f *fakeConn) SRTT() sim.Duration   { return f.srtt }
+func (f *fakeConn) MinRTT() sim.Duration { return f.minRTT }
+func (f *fakeConn) BytesInFlight() int   { return f.inflight }
+
+func newConn() *fakeConn {
+	return &fakeConn{mss: 1440, srtt: 100 * sim.Microsecond, minRTT: 50 * sim.Microsecond}
+}
+
+func TestRegistryHasAllPaperAlgorithms(t *testing.T) {
+	for _, name := range PaperOrder() {
+		cc, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if cc.Name() != name {
+			t.Fatalf("Name() = %q, want %q", cc.Name(), name)
+		}
+	}
+	if len(PaperOrder()) != 10 {
+		t.Fatalf("paper measures 10 algorithms, have %d", len(PaperOrder()))
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew of unknown name did not panic")
+		}
+	}()
+	MustNew("nope")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("reno", func() CongestionControl { return NewReno() })
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestOnlyDCTCPIsECNCapable(t *testing.T) {
+	for _, name := range PaperOrder() {
+		cc := MustNew(name)
+		if got, want := cc.ECNCapable(), name == "dctcp"; got != want {
+			t.Errorf("%s.ECNCapable() = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestInitialWindowTenSegments(t *testing.T) {
+	c := newConn()
+	for _, name := range []string{"reno", "cubic", "vegas", "dctcp", "scalable", "highspeed", "westwood"} {
+		cc := MustNew(name)
+		cc.Init(c)
+		if cw := cc.CWnd(); cw != float64(10*c.mss) {
+			t.Errorf("%s initial cwnd = %v, want %d", name, cw, 10*c.mss)
+		}
+	}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	start := r.CWnd()
+	// Acknowledge one full window: slow start adds acked bytes.
+	r.OnAck(c, AckInfo{AckedBytes: int(start)})
+	if r.CWnd() != 2*start {
+		t.Fatalf("cwnd = %v after window acked, want %v", r.CWnd(), 2*start)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	r.OnLoss(c) // leave slow start: ssthresh = cwnd/2
+	w := r.CWnd()
+	// One window of ACKs adds exactly one MSS.
+	for acked := 0.0; acked < w; acked += float64(c.mss) {
+		r.OnAck(c, AckInfo{AckedBytes: c.mss})
+	}
+	if got := r.CWnd(); math.Abs(got-(w+float64(c.mss))) > 1 {
+		t.Fatalf("CA growth = %v, want %v", got, w+float64(c.mss))
+	}
+}
+
+func TestRenoLossHalves(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	w := r.CWnd()
+	r.OnLoss(c)
+	if r.CWnd() != w/2 {
+		t.Fatalf("cwnd after loss = %v, want %v", r.CWnd(), w/2)
+	}
+}
+
+func TestRenoRTOCollapses(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	r.OnRTO(c)
+	if r.CWnd() != float64(c.mss) {
+		t.Fatalf("cwnd after RTO = %v, want 1 MSS", r.CWnd())
+	}
+}
+
+func TestRenoFrozenInRecovery(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	w := r.CWnd()
+	r.OnAck(c, AckInfo{AckedBytes: c.mss, InRecovery: true})
+	if r.CWnd() != w {
+		t.Fatal("window grew during recovery")
+	}
+}
+
+func TestRenoMinimumWindow(t *testing.T) {
+	c := newConn()
+	r := NewReno()
+	r.Init(c)
+	for i := 0; i < 50; i++ {
+		r.OnLoss(c)
+	}
+	if r.CWnd() < float64(2*c.mss) {
+		t.Fatalf("cwnd fell below 2 MSS: %v", r.CWnd())
+	}
+}
+
+func TestCubicBetaReduction(t *testing.T) {
+	c := newConn()
+	cu := NewCubic()
+	cu.Init(c)
+	w := cu.CWnd()
+	cu.OnLoss(c)
+	if math.Abs(cu.CWnd()-w*0.7) > 1 {
+		t.Fatalf("cubic loss reduction = %v, want %v (β=0.7)", cu.CWnd(), w*0.7)
+	}
+}
+
+func TestCubicGrowsTowardWmax(t *testing.T) {
+	c := newConn()
+	cu := NewCubic()
+	cu.Init(c)
+	// Force into congestion avoidance with a known Wmax.
+	cu.cwnd = 100 * float64(c.mss)
+	cu.ssthresh = cu.cwnd
+	cu.OnLoss(c) // Wmax = 100 segs, cwnd = 70 segs
+	w0 := cu.CWnd()
+	// Feed ACKs over simulated time; the window must grow back toward
+	// Wmax (concave region).
+	for i := 0; i < 2000; i++ {
+		c.now += 50 * sim.Microsecond
+		cu.OnAck(c, AckInfo{AckedBytes: c.mss})
+	}
+	if cu.CWnd() <= w0 {
+		t.Fatalf("cubic did not grow after loss: %v <= %v", cu.CWnd(), w0)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	c := newConn()
+	cu := NewCubic()
+	cu.Init(c)
+	cu.cwnd = 100 * float64(c.mss)
+	cu.OnLoss(c)
+	first := cu.wMax
+	cu.OnLoss(c) // second loss at lower window: fast convergence kicks in
+	if cu.wMax >= first {
+		t.Fatalf("fast convergence did not lower wMax: %v >= %v", cu.wMax, first)
+	}
+}
+
+func TestDCTCPAlphaTracksMarking(t *testing.T) {
+	c := newConn()
+	d := NewDCTCP()
+	d.Init(c)
+	d.ssthresh = d.cwnd // force CA
+	// Several windows of fully-marked ACKs: alpha should rise toward 1.
+	delivered := uint64(0)
+	for i := 0; i < 2000; i++ {
+		delivered += uint64(c.mss)
+		d.OnAck(c, AckInfo{AckedBytes: c.mss, ECE: true, Delivered: delivered})
+	}
+	if d.Alpha() < 0.5 {
+		t.Fatalf("alpha = %v after persistent marking, want → 1", d.Alpha())
+	}
+	// And without marks it should decay.
+	for i := 0; i < 20000; i++ {
+		delivered += uint64(c.mss)
+		d.OnAck(c, AckInfo{AckedBytes: c.mss, Delivered: delivered})
+	}
+	if d.Alpha() > 0.1 {
+		t.Fatalf("alpha = %v after clean windows, want → 0", d.Alpha())
+	}
+}
+
+func TestDCTCPReducesProportionally(t *testing.T) {
+	c := newConn()
+	d := NewDCTCP()
+	d.Init(c)
+	d.ssthresh = d.cwnd
+	d.alpha = 1.0 // fully congested estimate
+	w := d.CWnd()
+	// Complete one observation window with marks.
+	d.windowEnd = 0
+	d.OnAck(c, AckInfo{AckedBytes: c.mss, ECE: true, Delivered: uint64(c.mss)})
+	if got := d.CWnd(); got > w*0.6 {
+		t.Fatalf("dctcp cut = %v from %v, want ~half at α=1", got, w)
+	}
+}
+
+func TestVegasHoldsInsideBand(t *testing.T) {
+	c := newConn()
+	v := NewVegas()
+	v.Init(c)
+	v.ssthresh = v.cwnd // CA mode
+	// RTT samples equal to baseRTT: diff = 0 < alpha → +1 MSS per round.
+	w := v.CWnd()
+	delivered := uint64(0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 12; i++ {
+			delivered += uint64(c.mss)
+			v.OnAck(c, AckInfo{AckedBytes: c.mss, RTT: 50 * sim.Microsecond, Delivered: delivered})
+		}
+	}
+	if v.CWnd() <= w {
+		t.Fatalf("vegas did not probe up on empty queue: %v <= %v", v.CWnd(), w)
+	}
+}
+
+func TestVegasBacksOffOnQueueing(t *testing.T) {
+	c := newConn()
+	v := NewVegas()
+	v.Init(c)
+	v.ssthresh = v.cwnd
+	v.baseRTT = 50 * sim.Microsecond
+	w := v.CWnd()
+	delivered := uint64(0)
+	// RTT triple the base: large diff → decrease.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 12; i++ {
+			delivered += uint64(c.mss)
+			v.OnAck(c, AckInfo{AckedBytes: c.mss, RTT: 150 * sim.Microsecond, Delivered: delivered})
+		}
+	}
+	if v.CWnd() >= w {
+		t.Fatalf("vegas did not back off under queueing: %v >= %v", v.CWnd(), w)
+	}
+}
+
+func TestScalableConstants(t *testing.T) {
+	c := newConn()
+	s := MustNew("scalable").(*Scalable)
+	s.Init(c)
+	s.ssthresh = s.cwnd
+	w := s.CWnd()
+	s.OnAck(c, AckInfo{AckedBytes: 100})
+	if math.Abs(s.CWnd()-(w+1)) > 1e-9 {
+		t.Fatalf("scalable increase = %v per 100 bytes, want 1", s.CWnd()-w)
+	}
+	s.OnLoss(c)
+	if math.Abs(s.CWnd()-(w+1)*0.875) > 1e-9 {
+		t.Fatalf("scalable decrease to %v, want ×0.875", s.CWnd())
+	}
+}
+
+func TestHighSpeedResponseFunction(t *testing.T) {
+	// Below 38 segments: Reno behaviour (a=1, b=0.5).
+	if hsA(30) != 1 || hsB(30) != 0.5 {
+		t.Fatalf("low-window a/b = %v/%v", hsA(30), hsB(30))
+	}
+	// Large windows: a grows, b shrinks toward 0.1.
+	if hsA(10000) <= 1 {
+		t.Fatalf("a(10000) = %v, want > 1", hsA(10000))
+	}
+	if b := hsB(83000); math.Abs(b-0.1) > 1e-9 {
+		t.Fatalf("b(83000) = %v, want 0.1", b)
+	}
+	if hsB(1000) <= 0.1 || hsB(1000) >= 0.5 {
+		t.Fatalf("b(1000) = %v, want in (0.1, 0.5)", hsB(1000))
+	}
+}
+
+func TestHighSpeedBackoffGentlerWhenLarge(t *testing.T) {
+	c := newConn()
+	h := MustNew("highspeed").(*HighSpeed)
+	h.Init(c)
+	h.ssthresh = 0 // CA
+	h.cwnd = 10000 * float64(c.mss)
+	w := h.CWnd()
+	h.OnLoss(c)
+	frac := h.CWnd() / w
+	if frac < 0.7 {
+		t.Fatalf("highspeed at large window cut by %v, want gentle (> 0.7)", frac)
+	}
+}
+
+func TestWestwoodSetsWindowToBDP(t *testing.T) {
+	c := newConn()
+	w := MustNew("westwood").(*Westwood)
+	w.Init(c)
+	c.minRTT = 100 * sim.Microsecond
+	// Feed ACKs at a steady 1 GB/s for a while.
+	for i := 0; i < 100; i++ {
+		c.now += 10 * sim.Microsecond
+		w.OnAck(c, AckInfo{AckedBytes: 10000})
+	}
+	if w.bwEst == 0 {
+		t.Fatal("bandwidth estimate never formed")
+	}
+	w.cwnd = 1e9 // absurdly large
+	w.OnLoss(c)
+	want := w.bwEst * c.minRTT.Seconds()
+	if math.Abs(w.CWnd()-want) > want/2 {
+		t.Fatalf("westwood cwnd = %v, want ≈ BDP %v", w.CWnd(), want)
+	}
+}
+
+func TestBaselineConstantWindow(t *testing.T) {
+	c := newConn()
+	b := MustNew("baseline")
+	b.Init(c)
+	w := b.CWnd()
+	if w != BaselineCwndBytes {
+		t.Fatalf("baseline cwnd = %v, want %v", w, BaselineCwndBytes)
+	}
+	b.OnAck(c, AckInfo{AckedBytes: 1 << 20})
+	b.OnLoss(c)
+	b.OnRTO(c)
+	if b.CWnd() != w {
+		t.Fatal("baseline window moved; it must be constant by design")
+	}
+}
+
+func TestBBRStartupExitsToProbeBW(t *testing.T) {
+	c := newConn()
+	b := NewBBR()
+	b.Init(c)
+	if b.State() != "startup" {
+		t.Fatalf("initial state = %s", b.State())
+	}
+	// Plateaued delivery rate for many rounds: must reach probe_bw.
+	delivered := uint64(0)
+	for i := 0; i < 100; i++ {
+		c.now += 50 * sim.Microsecond
+		delivered += 64000
+		c.inflight = 2 * c.mss // drained below BDP once drain begins
+		b.OnAck(c, AckInfo{AckedBytes: 64000, RTT: 50 * sim.Microsecond, Delivered: delivered, DeliveryRate: 1.25e9 / 8})
+	}
+	if b.State() != "probe_bw" {
+		t.Fatalf("state = %s after plateau, want probe_bw", b.State())
+	}
+	if b.PacingRate() <= 0 {
+		t.Fatal("BBR must pace")
+	}
+}
+
+func TestBBRProbeRTTEntered(t *testing.T) {
+	c := newConn()
+	b := NewBBR()
+	b.Init(c)
+	delivered := uint64(0)
+	feed := func(n int, rtt sim.Duration) {
+		for i := 0; i < n; i++ {
+			c.now += 50 * sim.Microsecond
+			delivered += 64000
+			c.inflight = 2 * c.mss
+			b.OnAck(c, AckInfo{AckedBytes: 64000, RTT: rtt, Delivered: delivered, DeliveryRate: 1.25e9 / 8})
+		}
+	}
+	feed(100, 50*sim.Microsecond)
+	// Advance past the 10 s rtProp window with higher RTTs.
+	c.now += 11 * sim.Second
+	feed(1, 80*sim.Microsecond)
+	if b.State() != "probe_rtt" {
+		t.Fatalf("state = %s, want probe_rtt after stale rtProp", b.State())
+	}
+	if b.CWnd() != 4*float64(c.mss) {
+		t.Fatalf("probe_rtt cwnd = %v, want 4 MSS", b.CWnd())
+	}
+}
+
+func TestBBRIgnoresLossBBR2DoesNot(t *testing.T) {
+	c := newConn()
+	c.inflight = 100 * c.mss
+	b1 := NewBBR()
+	b1.Init(c)
+	w := b1.CWnd()
+	b1.OnLoss(c)
+	if b1.CWnd() != w {
+		t.Fatal("BBR v1 must ignore loss")
+	}
+	b2 := NewBBR2()
+	b2.Init(c)
+	b2.round = 1 // past the init round
+	b2.OnLoss(c)
+	if b2.inflightHi >= 1<<40 {
+		t.Fatal("BBR2 alpha must cap inflight on loss")
+	}
+}
+
+func TestBBR2CruisesBelowEstimate(t *testing.T) {
+	p1, p2 := bbrV1Params(), bbrV2AlphaParams()
+	if p2.cruiseGain >= p1.cruiseGain {
+		t.Fatal("bbr2 alpha must cruise below bbr v1")
+	}
+	if p2.startupGain >= p1.startupGain {
+		t.Fatal("bbr2 alpha must start up slower")
+	}
+}
+
+func TestWinMaxFilter(t *testing.T) {
+	var w winMax
+	w.Update(10, 1, 5)
+	w.Update(8, 2, 5)
+	if w.Get() != 10 {
+		t.Fatalf("max = %v, want 10", w.Get())
+	}
+	w.Update(12, 3, 5)
+	if w.Get() != 12 {
+		t.Fatalf("max = %v, want 12", w.Get())
+	}
+	// Old max ages out of the window.
+	w.Update(5, 20, 5)
+	if w.Get() == 12 {
+		t.Fatal("stale max survived window expiry")
+	}
+}
+
+// Property: every algorithm keeps a positive window through arbitrary
+// event sequences.
+func TestWindowAlwaysPositiveProperty(t *testing.T) {
+	f := func(ops []uint8, algIdx uint8) bool {
+		names := PaperOrder()
+		cc := MustNew(names[int(algIdx)%len(names)])
+		c := newConn()
+		cc.Init(c)
+		delivered := uint64(0)
+		for _, op := range ops {
+			c.now += sim.Duration(op) * sim.Microsecond
+			c.inflight = int(cc.CWnd() / 2)
+			switch op % 4 {
+			case 0, 1:
+				delivered += uint64(c.mss)
+				cc.OnAck(c, AckInfo{AckedBytes: c.mss, RTT: 60 * sim.Microsecond, Delivered: delivered, DeliveryRate: 1e8})
+			case 2:
+				cc.OnLoss(c)
+			case 3:
+				cc.OnRTO(c)
+			}
+			if cc.CWnd() < float64(c.mss) {
+				return false
+			}
+			if math.IsNaN(cc.CWnd()) || math.IsInf(cc.CWnd(), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

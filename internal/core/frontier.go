@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrontierPoint is one point of the fairness/energy trade-off curve.
+type FrontierPoint struct {
+	// Weight is the bandwidth fraction of flow 1 while both flows are
+	// active (0.5 = fair).
+	Weight float64
+	// Jain is Jain's fairness index of the (w, 1−w) allocation.
+	Jain float64
+	// EnergyJ is the schedule's total energy.
+	EnergyJ float64
+	// SavingsFrac is the energy saving relative to the fair point.
+	SavingsFrac float64
+}
+
+// FairnessEnergyFrontier sweeps the bandwidth split between two equal flows
+// and returns the (fairness, energy) trade-off curve — the quantified form
+// of the paper's title claim. For strictly concave p the curve is monotone:
+// every unit of fairness surrendered buys energy.
+func FairnessEnergyFrontier(flowBytes, capacityBps float64, p PowerFunc, steps int) ([]FrontierPoint, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("core: frontier needs at least 2 steps")
+	}
+	flows := []Flow{{Bytes: flowBytes}, {Bytes: flowBytes}}
+	fair, err := FairShare(flows, capacityBps)
+	if err != nil {
+		return nil, err
+	}
+	fairJ := fair.Energy(p)
+	out := make([]FrontierPoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		w := 0.5 + 0.5*float64(i)/float64(steps-1)
+		s, err := WeightedShare(flows, capacityBps, []float64{w, 1 - w})
+		if err != nil {
+			return nil, err
+		}
+		e := s.Energy(p)
+		out = append(out, FrontierPoint{
+			Weight:      w,
+			Jain:        1 / (2 * (w*w + (1-w)*(1-w))),
+			EnergyJ:     e,
+			SavingsFrac: (fairJ - e) / fairJ,
+		})
+	}
+	return out, nil
+}
+
+// Assumptions reports whether a power curve satisfies the hypotheses the
+// paper's analysis needs, with the quantities used to decide.
+type Assumptions struct {
+	// StrictlyConcave is Theorem 1's hypothesis.
+	StrictlyConcave bool
+	// Increasing: more throughput never costs less power.
+	Increasing bool
+	// DecreasingMarginal is §5's phrasing of concavity.
+	DecreasingMarginal bool
+	// IdleW and LineRateW are p(0) and p(C).
+	IdleW, LineRateW float64
+	// MaxSavingsFrac is the fair-vs-serial saving for two equal flows
+	// filling the link — the best the paper's strategy can do on this
+	// curve.
+	MaxSavingsFrac float64
+}
+
+// Holds reports whether every hypothesis is satisfied.
+func (a Assumptions) Holds() bool {
+	return a.StrictlyConcave && a.Increasing && a.DecreasingMarginal
+}
+
+// VerifyAssumptions checks a power curve against the paper's requirements
+// and computes the attainable headline saving.
+func VerifyAssumptions(p PowerFunc, capacityBps float64) (Assumptions, error) {
+	if capacityBps <= 0 {
+		return Assumptions{}, fmt.Errorf("core: non-positive capacity")
+	}
+	a := Assumptions{
+		StrictlyConcave:    IsStrictlyConcave(p, capacityBps, 500),
+		DecreasingMarginal: HasDecreasingMarginal(p, capacityBps, 100),
+		Increasing:         true,
+		IdleW:              p(0),
+		LineRateW:          p(capacityBps),
+	}
+	prev := math.Inf(-1)
+	for i := 0; i <= 200; i++ {
+		v := p(capacityBps * float64(i) / 200)
+		if v < prev {
+			a.Increasing = false
+			break
+		}
+		prev = v
+	}
+	// Two equal flows, each moving half a link-second of data.
+	flows := []Flow{{Bytes: capacityBps / 16}, {Bytes: capacityBps / 16}}
+	serial, err := FullSpeedThenIdle(flows, capacityBps)
+	if err != nil {
+		return a, err
+	}
+	sav, err := SavingsOverFair(serial, capacityBps, p)
+	if err != nil {
+		// Degenerate curves (e.g. zero power at the fair point) have no
+		// meaningful savings ratio; the hypothesis flags still stand.
+		a.MaxSavingsFrac = math.NaN()
+		return a, nil
+	}
+	a.MaxSavingsFrac = sav
+	return a, nil
+}

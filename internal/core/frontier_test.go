@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFairnessEnergyFrontierMonotone(t *testing.T) {
+	p := paperPower()
+	pts, err := FairnessEnergyFrontier(1.25e9, c10g, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Endpoints: fair and full monopoly.
+	if pts[0].Weight != 0.5 || math.Abs(pts[0].Jain-1) > 1e-12 || math.Abs(pts[0].SavingsFrac) > 1e-12 {
+		t.Fatalf("fair endpoint = %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Weight != 1.0 || math.Abs(last.Jain-0.5) > 1e-12 {
+		t.Fatalf("monopoly endpoint = %+v", last)
+	}
+	if math.Abs(last.SavingsFrac-0.163) > 0.01 {
+		t.Fatalf("monopoly savings = %v, want ~0.163", last.SavingsFrac)
+	}
+	// Monotone: fairness falls, savings rise.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Jain >= pts[i-1].Jain {
+			t.Fatalf("Jain not strictly decreasing at %d", i)
+		}
+		if pts[i].SavingsFrac < pts[i-1].SavingsFrac {
+			t.Fatalf("savings decreased at %d", i)
+		}
+		if pts[i].EnergyJ > pts[i-1].EnergyJ {
+			t.Fatalf("energy increased at %d", i)
+		}
+	}
+}
+
+func TestFairnessEnergyFrontierValidation(t *testing.T) {
+	if _, err := FairnessEnergyFrontier(1e9, c10g, paperPower(), 1); err == nil {
+		t.Fatal("steps < 2 accepted")
+	}
+}
+
+func TestVerifyAssumptionsPaperCurve(t *testing.T) {
+	a, err := VerifyAssumptions(paperPower(), c10g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Holds() {
+		t.Fatalf("paper curve fails hypotheses: %+v", a)
+	}
+	if math.Abs(a.IdleW-21.49) > 0.1 {
+		t.Fatalf("idle = %v", a.IdleW)
+	}
+	if math.Abs(a.LineRateW-35.82) > 0.2 {
+		t.Fatalf("line rate = %v", a.LineRateW)
+	}
+	if math.Abs(a.MaxSavingsFrac-0.163) > 0.01 {
+		t.Fatalf("max savings = %v, want ~0.163", a.MaxSavingsFrac)
+	}
+}
+
+func TestVerifyAssumptionsRejectsConvex(t *testing.T) {
+	convex := func(x float64) float64 { return (x / 1e9) * (x / 1e9) }
+	a, err := VerifyAssumptions(convex, c10g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Holds() {
+		t.Fatal("convex curve passed the hypotheses")
+	}
+	if a.MaxSavingsFrac >= 0 {
+		t.Fatalf("convex curve should show negative savings, got %v", a.MaxSavingsFrac)
+	}
+}
+
+func TestVerifyAssumptionsDetectsNonIncreasing(t *testing.T) {
+	hump := func(x float64) float64 { return -math.Pow(x/1e10-0.5, 2) }
+	a, err := VerifyAssumptions(hump, c10g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Increasing {
+		t.Fatal("hump curve marked increasing")
+	}
+}
+
+func TestVerifyAssumptionsValidation(t *testing.T) {
+	if _, err := VerifyAssumptions(paperPower(), 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

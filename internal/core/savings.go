@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// DatacenterCostModel carries the §4.2 extrapolation constants: "The energy
+// to run a typical data center rack is on the order of $10k/year. With
+// around 100k racks in a typical data center, a 1% improvement corresponds
+// to a cost savings of on the order of $10 million/year."
+type DatacenterCostModel struct {
+	// RackYearUSD is the yearly energy cost of one rack.
+	RackYearUSD float64
+	// Racks is the number of racks in the datacenter.
+	Racks float64
+}
+
+// PaperDatacenter returns the constants the paper cites ([51], [38]).
+func PaperDatacenter() DatacenterCostModel {
+	return DatacenterCostModel{RackYearUSD: 10_000, Racks: 100_000}
+}
+
+// YearlyEnergyUSD returns the total yearly energy bill.
+func (d DatacenterCostModel) YearlyEnergyUSD() float64 {
+	return d.RackYearUSD * d.Racks
+}
+
+// YearlySavingsUSD converts a fractional energy saving into dollars per
+// year.
+func (d DatacenterCostModel) YearlySavingsUSD(savingFrac float64) (float64, error) {
+	if savingFrac < -1 || savingFrac > 1 {
+		return 0, fmt.Errorf("core: saving fraction %v out of [-1, 1]", savingFrac)
+	}
+	return d.YearlyEnergyUSD() * savingFrac, nil
+}

@@ -1,0 +1,129 @@
+// Package core implements the paper's analytical contribution: the
+// fairness/energy trade-off. It provides Theorem 1 (the TCP fair share is
+// the single worst allocation for energy when per-host power is strictly
+// concave in throughput), allocation strategies (fair, weighted, and the
+// "full speed, then idle" serial schedule), closed-form energy predictions
+// for each, datacenter-scale cost extrapolation (§4.2), and the
+// future-work energy-aware SRPT flow scheduler (§5).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerFunc maps a host's throughput (bits/second) to its package power
+// (watts). Theorem 1 requires it to be strictly concave and increasing on
+// [0, C].
+type PowerFunc func(bps float64) float64
+
+// TotalPower returns Σ p(xᵢ) — the paper's P(x) for per-flow throughputs x,
+// with each flow on its own host.
+func TotalPower(p PowerFunc, x []float64) float64 {
+	total := 0.0
+	for _, xi := range x {
+		total += p(xi)
+	}
+	return total
+}
+
+// FairAllocation returns x* = (C/n, …, C/n).
+func FairAllocation(capacityBps float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = capacityBps / float64(n)
+	}
+	return x
+}
+
+// IsStrictlyConcave samples p on [0, maxBps] at n chord midpoints and
+// reports whether every midpoint value strictly exceeds the chord — the
+// hypothesis of Theorem 1, checkable for any supplied curve.
+func IsStrictlyConcave(p PowerFunc, maxBps float64, n int) bool {
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		a := maxBps * float64(i) / float64(n)
+		b := maxBps * float64(i+1) / float64(n)
+		if p((a+b)/2) <= (p(a)+p(b))/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem1 states: for throughputs y with Σyᵢ = C and y ≠ x*, if p is
+// strictly concave then P(x*) > P(y). CheckTheorem1 evaluates both sides
+// for a concrete y and reports whether the inequality holds (it must,
+// whenever the hypotheses do).
+func CheckTheorem1(p PowerFunc, capacityBps float64, y []float64) (fairPower, yPower float64, holds bool, err error) {
+	n := len(y)
+	if n < 2 {
+		return 0, 0, false, fmt.Errorf("core: Theorem 1 needs at least two flows")
+	}
+	sum := 0.0
+	equal := true
+	for _, yi := range y {
+		if yi < 0 {
+			return 0, 0, false, fmt.Errorf("core: negative throughput %v", yi)
+		}
+		sum += yi
+		if math.Abs(yi-capacityBps/float64(n)) > 1e-9*capacityBps {
+			equal = false
+		}
+	}
+	if math.Abs(sum-capacityBps) > 1e-6*capacityBps {
+		return 0, 0, false, fmt.Errorf("core: allocation sums to %v, want capacity %v", sum, capacityBps)
+	}
+	if equal {
+		return 0, 0, false, fmt.Errorf("core: y equals the fair allocation; the theorem compares distinct allocations")
+	}
+	fairPower = TotalPower(p, FairAllocation(capacityBps, n))
+	yPower = TotalPower(p, y)
+	return fairPower, yPower, fairPower > yPower, nil
+}
+
+// ProveTheorem1ByJensen reproduces the paper's proof computationally:
+// for the fair point, n·p(C/n) = n·p(mean(y)); strict concavity gives
+// p(mean(y)) > mean(p(y)), hence P(x*) > P(y). It returns the two sides of
+// the Jensen inequality for inspection.
+func ProveTheorem1ByJensen(p PowerFunc, y []float64) (pOfMean, meanOfP float64) {
+	n := float64(len(y))
+	mean := 0.0
+	for _, yi := range y {
+		mean += yi / n
+	}
+	pOfMean = p(mean)
+	for _, yi := range y {
+		meanOfP += p(yi) / n
+	}
+	return pOfMean, meanOfP
+}
+
+// MarginalPower returns the numerical derivative dp/dx at x (central
+// difference with step h).
+func MarginalPower(p PowerFunc, x, h float64) float64 {
+	return (p(x+h) - p(x-h)) / (2 * h)
+}
+
+// HasDecreasingMarginal reports whether marginal power decreases over
+// [h, maxBps−h] sampled at n points — the §5 phrasing of the concavity
+// condition ("whenever marginal power usage is a decreasing function of
+// throughput, fairness is the least energy efficient thing to do").
+func HasDecreasingMarginal(p PowerFunc, maxBps float64, n int) bool {
+	if n < 2 {
+		n = 2
+	}
+	h := maxBps / float64(4*n)
+	prev := math.Inf(1)
+	for i := 1; i <= n; i++ {
+		x := maxBps * float64(i) / float64(n+1)
+		m := MarginalPower(p, x, h)
+		if m >= prev {
+			return false
+		}
+		prev = m
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package energy
+
+// Model bundles a power curve with a cost model and provides the closed-form
+// steady-state predictions that the paper's analysis (§4.1, Theorem 1) is
+// built on. The simulator must agree with these predictions within model
+// resolution; tests assert that it does.
+type Model struct {
+	Curve PowerCurve
+	Costs CostModel
+}
+
+// DefaultModel returns the calibrated server model (ServerCurve +
+// DefaultCostModel).
+func DefaultModel() Model {
+	return Model{Curve: ServerCurve(), Costs: DefaultCostModel()}
+}
+
+// SenderUtilization returns the steady-state CPU utilization of a host
+// sending goodput bits/s in segments of payloadBytes each, with delayed
+// ACKs acknowledging every other segment, using the named CCA.
+func (m Model) SenderUtilization(goodputBps float64, payloadBytes int, ccaName string) float64 {
+	if goodputBps <= 0 || payloadBytes <= 0 {
+		return 0
+	}
+	pps := goodputBps / (8 * float64(payloadBytes))
+	ackRate := pps / 2
+	work := pps*m.Costs.TxPacket + ackRate*(m.Costs.RxAck+m.Costs.CCACost(ccaName))
+	return work / float64(m.Costs.Cores)
+}
+
+// SenderPower returns the steady-state package watts for a sender at the
+// given goodput — the closed-form version of the paper's Figure 2 curve.
+func (m Model) SenderPower(goodputBps float64, payloadBytes int, ccaName string) float64 {
+	return m.Curve.PowerAt(m.SenderUtilization(goodputBps, payloadBytes, ccaName))
+}
+
+// SenderPowerLoaded is SenderPower with an additional background compute
+// load (fraction of all cores), the §4.2 scenario.
+func (m Model) SenderPowerLoaded(goodputBps float64, payloadBytes int, ccaName string, baseLoad float64) float64 {
+	return m.Curve.PowerLoaded(baseLoad, m.SenderUtilization(goodputBps, payloadBytes, ccaName))
+}
+
+// TangentPower returns the power of the "full speed, then idle" strategy
+// achieving average throughput goodputBps by duty-cycling between idle and
+// line rate lineRateBps: the orange tangent line of Figure 2.
+func (m Model) TangentPower(goodputBps, lineRateBps float64, payloadBytes int, ccaName string) float64 {
+	if lineRateBps <= 0 {
+		return m.Curve.PowerAt(0)
+	}
+	frac := goodputBps / lineRateBps
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	pIdle := m.Curve.PowerAt(0)
+	pFull := m.SenderPower(lineRateBps, payloadBytes, ccaName)
+	return pIdle + frac*(pFull-pIdle)
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSenderUtilizationZeroGuards(t *testing.T) {
+	m := DefaultModel()
+	if m.SenderUtilization(0, 8940, "cubic") != 0 {
+		t.Fatal("zero goodput should be zero utilization")
+	}
+	if m.SenderUtilization(1e9, 0, "cubic") != 0 {
+		t.Fatal("zero payload should be zero utilization")
+	}
+	if m.SenderUtilization(-5, 8940, "cubic") != 0 {
+		t.Fatal("negative goodput should be zero utilization")
+	}
+}
+
+func TestSenderUtilizationScalesWithCCACost(t *testing.T) {
+	m := DefaultModel()
+	base := m.SenderUtilization(5e9, 8940, "baseline") // zero per-ACK cost
+	bbr2 := m.SenderUtilization(5e9, 8940, "bbr2")     // highest per-ACK cost
+	if bbr2 <= base {
+		t.Fatalf("bbr2 utilization %v should exceed baseline %v", bbr2, base)
+	}
+}
+
+func TestTangentPowerClamps(t *testing.T) {
+	m := DefaultModel()
+	idle := m.Curve.PowerAt(0)
+	// Zero line rate degenerates to idle.
+	if got := m.TangentPower(5e9, 0, 8940, "cubic"); got != idle {
+		t.Fatalf("zero line rate tangent = %v, want idle %v", got, idle)
+	}
+	// Negative goodput clamps to idle.
+	if got := m.TangentPower(-1, 10e9, 8940, "cubic"); got != idle {
+		t.Fatalf("negative goodput tangent = %v, want idle", got)
+	}
+	// Goodput above line rate clamps to the full-rate power.
+	full := m.SenderPower(10e9, 8940, "cubic")
+	if got := m.TangentPower(20e9, 10e9, 8940, "cubic"); math.Abs(got-full) > 1e-12 {
+		t.Fatalf("over-rate tangent = %v, want %v", got, full)
+	}
+}
+
+func TestPowerLoadedMonotoneInBothArguments(t *testing.T) {
+	c := ServerCurve()
+	prev := 0.0
+	for i := 0; i <= 20; i++ {
+		load := float64(i) / 20
+		p := c.PowerLoaded(load, 0.01)
+		if p < prev {
+			t.Fatalf("power decreased with load at %v", load)
+		}
+		prev = p
+	}
+	prev = 0
+	for i := 0; i <= 20; i++ {
+		net := float64(i) / 40
+		p := c.PowerLoaded(0.3, net)
+		if p < prev {
+			t.Fatalf("power decreased with net utilization at %v", net)
+		}
+		prev = p
+	}
+}
+
+func TestPowerLoadedSaturatesAtFullCPU(t *testing.T) {
+	c := ServerCurve()
+	at := c.PowerLoaded(0.9, 0.5)  // sums beyond 1
+	cap := c.PowerLoaded(0.9, 0.1) // exactly 1
+	if math.Abs(at-cap) > 1e-9 {
+		t.Fatalf("power beyond full CPU: %v vs %v", at, cap)
+	}
+}

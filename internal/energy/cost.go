@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"fmt"
+
+	"greenenvy/internal/sim"
+)
+
+// CostModel attributes CPU work to networking operations. All costs are in
+// seconds of one core's time; a Meter divides accumulated core-seconds by
+// (wall time × cores) to obtain utilization.
+//
+// Two distinct quantities matter:
+//
+//   - Total work per operation (the TxPacket/RxPacket/... fields): CPU time
+//     spent anywhere in the stack (syscalls, softirq, memory copies, timer
+//     processing), possibly spread over several cores. This drives power.
+//
+//   - The serialized transmit-path cost (TxPathCost): the critical-path time
+//     to push one packet through the stack, which caps the achievable packet
+//     rate of a single flow. This is why the paper needs a 9000-byte MTU to
+//     reach 10 Gb/s (§3) and why MTU 1500 runs slower and hotter (Figs 5–7).
+type CostModel struct {
+	// Cores is the number of logical CPUs in the host (the paper's
+	// servers expose 32).
+	Cores int
+
+	// TxPacket is total CPU work to transmit one data segment.
+	TxPacket float64
+	// RxPacket is total CPU work to receive one data segment.
+	RxPacket float64
+	// TxAck / RxAck are the costs of sending and processing a pure ACK.
+	TxAck float64
+	RxAck float64
+	// Retransmit is the extra work for one retransmitted segment
+	// (re-queueing, SACK scoreboard walking, timer churn).
+	Retransmit float64
+	// TxWindowMB is extra per-packet transmit work per MiB of
+	// outstanding (unacknowledged) window. It models the sender-host
+	// queuing cost the paper blames for the constant-cwnd baseline's
+	// energy premium: "its large cwnd value makes the sender bursty
+	// which causes queuing at the network as well as the sender host
+	// resulting in more frequent memory accesses" (§4.3) — a 25 MB
+	// scoreboard no longer fits in cache.
+	TxWindowMB float64
+	// PerCCAByName gives the additional per-ACK congestion-control
+	// computation for each algorithm (cwnd arithmetic, rate estimation,
+	// pacing timers, flow state bookkeeping — §5's list of mechanisms).
+	PerCCAByName map[string]float64
+
+	// TxPathCost is the serialized per-packet transmit-path time; a
+	// sender cannot emit packets faster than one per TxPathCost.
+	TxPathCost sim.Duration
+}
+
+// DefaultCostModel returns costs calibrated together with ServerCurve so the
+// combined model hits the paper's Figure 2 anchors at MTU 9000 and its
+// Figure 5–7 MTU/CCA spreads at MTU 1500.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Cores:      32,
+		TxPacket:   3.2e-6,
+		RxPacket:   1.6e-6,
+		TxAck:      1.0e-6,
+		RxAck:      2.0e-6,
+		Retransmit: 3.2e-6,
+		TxWindowMB: 0.08e-6,
+		PerCCAByName: map[string]float64{
+			"baseline":  0,       // no cwnd computation at all
+			"reno":      0.15e-6, // one addition or halving per ACK
+			"scalable":  0.18e-6,
+			"highspeed": 0.25e-6, // AIMD table lookup
+			"westwood":  0.30e-6, // bandwidth filter
+			"vegas":     0.35e-6, // per-RTT rate bookkeeping
+			"dctcp":     0.40e-6, // ECN fraction EWMA
+			"cubic":     0.50e-6, // cube-root computation
+			"bbr":       0.70e-6, // delivery-rate filters + pacing
+			"bbr2":      1.50e-6, // alpha release: unoptimized paths
+			// §5 production algorithms (extended benchmark).
+			"swift": 0.35e-6, // delay target arithmetic
+			"dcqcn": 0.45e-6, // rate state machine + CNP timers
+			"hpcc":  0.60e-6, // INT parsing + per-hop utilization
+		},
+		TxPathCost: 1500 * sim.Nanosecond, // ~667 kpps single-flow cap
+	}
+}
+
+// CCACost returns the per-ACK cost for the named algorithm. Unknown names
+// fall back to the cost of "reno" so that user-supplied algorithms still get
+// a sane default.
+func (m CostModel) CCACost(name string) float64 {
+	if c, ok := m.PerCCAByName[name]; ok {
+		return c
+	}
+	return m.PerCCAByName["reno"]
+}
+
+// Validate reports an error for nonsensical configurations.
+func (m CostModel) Validate() error {
+	if m.Cores <= 0 {
+		return fmt.Errorf("energy: cost model needs positive Cores, got %d", m.Cores)
+	}
+	for _, v := range []float64{m.TxPacket, m.RxPacket, m.TxAck, m.RxAck, m.Retransmit, m.TxWindowMB} {
+		if v < 0 {
+			return fmt.Errorf("energy: negative per-op cost %v", v)
+		}
+	}
+	if m.TxPathCost < 0 {
+		return fmt.Errorf("energy: negative TxPathCost %v", m.TxPathCost)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package iperf provides an iperf3-like traffic generator over the testbed
+// TCP stack: fixed-size bulk transfers with optional target-bandwidth
+// pacing (iperf3's -b flag), per-interval statistics, and a summary report
+// matching the fields the paper's experiment scripts consume (bytes,
+// seconds, bits/second, retransmits).
+package iperf
+
+import (
+	"fmt"
+
+	"greenenvy/internal/cca"
+	"greenenvy/internal/energy"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/sim"
+	"greenenvy/internal/tcp"
+)
+
+// Spec describes one client invocation.
+type Spec struct {
+	// Flow is the flow identifier (unique per testbed run).
+	Flow netsim.FlowID
+	// Bytes is the transfer size (iperf3 -n).
+	Bytes uint64
+	// CCA names the congestion control algorithm (iperf3 -C).
+	CCA string
+	// TargetBps, when positive, paces the client at this bitrate
+	// (iperf3 -b).
+	TargetBps int64
+	// Config carries TCP tunables (MTU, timers). Zero-value fields are
+	// filled from tcp.DefaultConfig.
+	Config tcp.Config
+	// StartAt delays the client's start relative to run begin.
+	StartAt sim.Time
+	// Interval is the reporting granularity (default 100 ms).
+	Interval sim.Duration
+}
+
+// IntervalStat is one reporting interval, like an iperf3 "[ ID] interval"
+// line.
+type IntervalStat struct {
+	Start, End  sim.Time
+	Bytes       uint64
+	Bps         float64
+	Retransmits uint64
+}
+
+// Report is the client-side summary, like iperf3's closing JSON.
+type Report struct {
+	Flow        netsim.FlowID
+	CCA         string
+	MTU         int
+	Bytes       uint64
+	Start       sim.Time
+	End         sim.Time
+	Seconds     float64
+	Bps         float64
+	Retransmits uint64
+	Timeouts    uint64
+	DataSent    uint64
+	Intervals   []IntervalStat
+}
+
+// String formats the summary like an iperf3 closing line.
+func (r Report) String() string {
+	return fmt.Sprintf("[%3d] 0.00-%.2f sec  %d bytes  %.2f Gbits/sec  %d retrans  (%s, mtu %d)",
+		r.Flow, r.Seconds, r.Bytes, r.Bps/1e9, r.Retransmits, r.CCA, r.MTU)
+}
+
+// Client is one sender application instance.
+type Client struct {
+	spec     Spec
+	sender   *tcp.Sender
+	receiver *tcp.Receiver
+	engine   *sim.Engine
+
+	intervals    []IntervalStat
+	intervalOpen IntervalStat
+	lastBytes    uint64
+	lastRetrans  uint64
+	done         bool
+	after        *Client
+	onDone       []func()
+	// OnComplete fires when the transfer finishes.
+	OnComplete func(Report)
+}
+
+// NewClient wires a client on srcHost sending to dstHost. Energy accounts
+// may be nil. The client does not start until Start (or StartAt elapses
+// after StartAll).
+func NewClient(engine *sim.Engine, spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dstAccount *energy.Account) (*Client, error) {
+	cfg := fillConfig(spec.Config)
+	cc, err := cca.New(spec.CCA)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Bytes == 0 {
+		return nil, fmt.Errorf("iperf: zero-byte transfer for flow %d", spec.Flow)
+	}
+	if spec.TargetBps > 0 {
+		cfg.RateLimitBps = spec.TargetBps
+	}
+	if spec.Interval == 0 {
+		spec.Interval = 100 * sim.Millisecond
+	}
+	spec.Config = cfg
+
+	c := &Client{spec: spec, engine: engine}
+	c.receiver = tcp.NewReceiver(engine, dstHost, spec.Flow, srcHost.ID, cfg, cc.ECNCapable(), dstAccount)
+	c.sender = tcp.NewSender(engine, srcHost, spec.Flow, dstHost.ID, spec.Bytes, cc, cfg, srcAccount)
+	c.sender.OnComplete = c.finish
+	return c, nil
+}
+
+func fillConfig(cfg tcp.Config) tcp.Config {
+	def := tcp.DefaultConfig()
+	if cfg.MTU == 0 {
+		cfg.MTU = def.MTU
+	}
+	if cfg.InitialCwndSegs == 0 {
+		cfg.InitialCwndSegs = def.InitialCwndSegs
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = def.MinRTO
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = def.MaxRTO
+	}
+	if cfg.DelAckSegs == 0 {
+		cfg.DelAckSegs = def.DelAckSegs
+	}
+	if cfg.DelAckTimeout == 0 {
+		cfg.DelAckTimeout = def.DelAckTimeout
+	}
+	if cfg.ReorderSegs == 0 {
+		cfg.ReorderSegs = def.ReorderSegs
+	}
+	if cfg.RxPathCost == 0 {
+		// A negative value disables the receive-path model explicitly.
+		cfg.RxPathCost = def.RxPathCost
+	}
+	if cfg.RxRingPackets == 0 {
+		cfg.RxRingPackets = def.RxRingPackets
+	}
+	return cfg
+}
+
+// StartAfter chains this client behind prev: it starts (plus its StartAt
+// offset) when prev completes — the "full speed, then idle" serial
+// schedule. It must be called before Start.
+func (c *Client) StartAfter(prev *Client) { c.after = prev }
+
+// OnDone registers a callback invoked when the transfer completes, in
+// addition to (and after) OnComplete. Multiple callbacks run in
+// registration order.
+func (c *Client) OnDone(f func()) { c.onDone = append(c.onDone, f) }
+
+// Start schedules the client: at its StartAt offset from now, or — if
+// chained with StartAfter — at StartAt after its predecessor completes.
+func (c *Client) Start() {
+	if c.after != nil {
+		c.after.onDone = append(c.after.onDone, func() {
+			c.engine.After(c.spec.StartAt, c.startNow)
+		})
+		return
+	}
+	c.engine.After(c.spec.StartAt, c.startNow)
+}
+
+func (c *Client) startNow() {
+	c.sender.Start()
+	c.intervalOpen = IntervalStat{Start: c.engine.Now()}
+	c.engine.After(c.spec.Interval, c.tick)
+}
+
+func (c *Client) tick() {
+	if c.done {
+		return
+	}
+	c.closeInterval()
+	c.engine.After(c.spec.Interval, c.tick)
+}
+
+func (c *Client) closeInterval() {
+	now := c.engine.Now()
+	recvd := c.receiver.TotalReceived
+	st := c.intervalOpen
+	st.End = now
+	st.Bytes = recvd - c.lastBytes
+	st.Retransmits = c.sender.Retransmits - c.lastRetrans
+	if d := (st.End - st.Start).Seconds(); d > 0 {
+		st.Bps = float64(st.Bytes) * 8 / d
+	}
+	c.intervals = append(c.intervals, st)
+	c.lastBytes = recvd
+	c.lastRetrans = c.sender.Retransmits
+	c.intervalOpen = IntervalStat{Start: now}
+}
+
+func (c *Client) finish() {
+	c.closeInterval()
+	c.done = true
+	if c.OnComplete != nil {
+		c.OnComplete(c.Report())
+	}
+	for _, f := range c.onDone {
+		f()
+	}
+}
+
+// Done reports whether the transfer completed.
+func (c *Client) Done() bool { return c.done }
+
+// Sender exposes the underlying TCP sender.
+func (c *Client) Sender() *tcp.Sender { return c.sender }
+
+// Receiver exposes the underlying TCP receiver.
+func (c *Client) Receiver() *tcp.Receiver { return c.receiver }
+
+// Report builds the summary (valid any time; final once Done).
+func (c *Client) Report() Report {
+	s := c.sender
+	r := Report{
+		Flow:        c.spec.Flow,
+		CCA:         c.spec.CCA,
+		MTU:         c.spec.Config.MTU,
+		Bytes:       c.receiver.TotalReceived,
+		Start:       s.StartedAt,
+		End:         s.CompletedAt,
+		Retransmits: s.Retransmits,
+		Timeouts:    s.Timeouts,
+		DataSent:    s.DataSent,
+		Intervals:   c.intervals,
+	}
+	if s.Done() {
+		r.Seconds = s.FCT().Seconds()
+		if r.Seconds > 0 {
+			r.Bps = float64(r.Bytes) * 8 / r.Seconds
+		}
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"fmt"
+
+	"greenenvy/internal/sim"
+)
+
+// Link is a unidirectional transmission line: a queue feeding a serializer
+// of fixed rate, followed by a propagation delay, delivering to a Handler.
+// It is the only place in the simulator where packets consume time.
+type Link struct {
+	// Name appears in traces and panics.
+	Name string
+	// RateBps is the line rate in bits per second.
+	RateBps int64
+	// Delay is the one-way propagation delay.
+	Delay sim.Duration
+
+	engine *sim.Engine
+	queue  Queue
+	dst    Handler
+	busy   bool
+
+	// TxPackets and TxBytes count packets/bytes that completed
+	// serialization onto the wire.
+	TxPackets uint64
+	TxBytes   uint64
+	// busySince tracks utilization accounting.
+	busyTime  sim.Duration
+	busyStart sim.Time
+}
+
+// NewLink creates a link with the given queue discipline delivering to dst.
+func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration, queue Queue, dst Handler) *Link {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %q with non-positive rate %d", name, rateBps))
+	}
+	if queue == nil || dst == nil || engine == nil {
+		panic("netsim: NewLink requires engine, queue and dst")
+	}
+	return &Link{Name: name, RateBps: rateBps, Delay: delay, engine: engine, queue: queue, dst: dst}
+}
+
+// Queue exposes the link's queue discipline (for weight configuration and
+// stats inspection).
+func (l *Link) Queue() Queue { return l.queue }
+
+// SerializationTime returns the time to clock size bytes onto the wire.
+func (l *Link) SerializationTime(size int) sim.Duration {
+	return sim.Duration(int64(size) * 8 * int64(sim.Second) / l.RateBps)
+}
+
+// HandlePacket implements Handler: enqueue and start transmitting if idle.
+func (l *Link) HandlePacket(p *Packet) {
+	if !l.queue.Enqueue(p) {
+		return // dropped; queue stats already updated
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.busyStart = l.engine.Now()
+	txTime := l.SerializationTime(p.WireSize)
+	l.engine.After(txTime, func() {
+		l.TxPackets++
+		l.TxBytes += uint64(p.WireSize)
+		l.busyTime += l.engine.Now() - l.busyStart
+		if p.Flags.Has(FlagINT) {
+			p.INT = append(p.INT, INTHop{
+				QueueBytes: l.queue.Bytes(),
+				TxBytes:    l.TxBytes,
+				At:         l.engine.Now(),
+				RateBps:    l.RateBps,
+			})
+		}
+		dst, delay := l.dst, l.Delay
+		l.engine.After(delay, func() { dst.HandlePacket(p) })
+		l.transmitNext()
+	})
+}
+
+// Busy reports whether the link is currently serializing a packet.
+func (l *Link) Busy() bool { return l.busy }
+
+// Utilization returns the fraction of [0, now] the line spent transmitting.
+func (l *Link) Utilization() float64 {
+	now := l.engine.Now()
+	if now == 0 {
+		return 0
+	}
+	bt := l.busyTime
+	if l.busy {
+		bt += now - l.busyStart
+	}
+	return float64(bt) / float64(now)
+}
+
+// Bond spreads packets round-robin across multiple member links, modelling
+// the paper's sender that is "connected to the switch with 2×10Gb/s links
+// where the interfaces are bonded and packets are sent round-robin among the
+// two" (§3). With two members, the sender's access capacity is 20 Gb/s and
+// the bottleneck stays at the switch.
+type Bond struct {
+	members []*Link
+	next    int
+}
+
+// NewBond creates a round-robin bond over the given links. It panics if no
+// members are supplied.
+func NewBond(members ...*Link) *Bond {
+	if len(members) == 0 {
+		panic("netsim: bond with no member links")
+	}
+	return &Bond{members: members}
+}
+
+// HandlePacket implements Handler by assigning the packet to the next
+// member link in round-robin order.
+func (b *Bond) HandlePacket(p *Packet) {
+	l := b.members[b.next]
+	b.next = (b.next + 1) % len(b.members)
+	l.HandlePacket(p)
+}
+
+// Members returns the bonded links.
+func (b *Bond) Members() []*Link { return b.members }

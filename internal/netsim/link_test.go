@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+// collector gathers delivered packets with their arrival times.
+type collector struct {
+	engine *sim.Engine
+	pkts   []*Packet
+	times  []sim.Time
+}
+
+func (c *collector) HandlePacket(p *Packet) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, c.engine.Now())
+}
+
+func TestLinkSerializationTime(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "l", 10_000_000_000, 0, NewDropTail(0, 0), HandlerFunc(func(*Packet) {}))
+	// 9000 bytes at 10 Gb/s = 7.2 µs.
+	if got := l.SerializationTime(9000); got != 7200*sim.Nanosecond {
+		t.Fatalf("SerializationTime = %d ns, want 7200", got)
+	}
+	// 1500 bytes at 1 Gb/s = 12 µs.
+	l2 := NewLink(e, "l2", 1_000_000_000, 0, NewDropTail(0, 0), HandlerFunc(func(*Packet) {}))
+	if got := l2.SerializationTime(1500); got != 12*sim.Microsecond {
+		t.Fatalf("SerializationTime = %d ns, want 12000", got)
+	}
+}
+
+func TestLinkDeliversAfterSerializationPlusDelay(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{engine: e}
+	l := NewLink(e, "l", 10_000_000_000, 5*sim.Microsecond, NewDropTail(0, 0), c)
+	l.HandlePacket(pkt(0, 9000))
+	e.Run()
+	if len(c.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(c.pkts))
+	}
+	want := sim.Time(7200) + 5*sim.Microsecond
+	if c.times[0] != want {
+		t.Fatalf("delivered at %d, want %d", c.times[0], want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{engine: e}
+	l := NewLink(e, "l", 10_000_000_000, 0, NewDropTail(0, 0), c)
+	l.HandlePacket(pkt(0, 9000))
+	l.HandlePacket(pkt(0, 9000))
+	l.HandlePacket(pkt(0, 9000))
+	e.Run()
+	if len(c.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3", len(c.pkts))
+	}
+	for i, at := range c.times {
+		want := sim.Time(7200 * (i + 1))
+		if at != want {
+			t.Fatalf("packet %d at %d, want %d (line must serialize back-to-back)", i, at, want)
+		}
+	}
+}
+
+func TestLinkPipelinesAcrossPropagation(t *testing.T) {
+	// With delay >> serialization, packets must overlap in flight: the
+	// second arrives one serialization after the first, not one delay.
+	e := sim.NewEngine()
+	c := &collector{engine: e}
+	l := NewLink(e, "l", 10_000_000_000, sim.Millisecond, NewDropTail(0, 0), c)
+	l.HandlePacket(pkt(0, 9000))
+	l.HandlePacket(pkt(0, 9000))
+	e.Run()
+	gap := c.times[1] - c.times[0]
+	if gap != 7200 {
+		t.Fatalf("inter-arrival = %d ns, want 7200 (pipelined)", gap)
+	}
+}
+
+func TestLinkRespectsQueueDrops(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{engine: e}
+	l := NewLink(e, "l", 1_000_000, 0, NewDropTail(1000, 0), c)
+	// First packet starts transmitting immediately (dequeued), second
+	// buffers (1000 bytes), third is dropped.
+	l.HandlePacket(pkt(0, 1000))
+	l.HandlePacket(pkt(0, 1000))
+	l.HandlePacket(pkt(0, 1000))
+	e.Run()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2 (one dropped)", len(c.pkts))
+	}
+	if l.Queue().Stats().DroppedPackets != 1 {
+		t.Fatalf("drops = %d, want 1", l.Queue().Stats().DroppedPackets)
+	}
+}
+
+func TestLinkCounters(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "l", 10_000_000_000, 0, NewDropTail(0, 0), HandlerFunc(func(*Packet) {}))
+	l.HandlePacket(pkt(0, 1500))
+	l.HandlePacket(pkt(0, 1500))
+	e.Run()
+	if l.TxPackets != 2 || l.TxBytes != 3000 {
+		t.Fatalf("TxPackets=%d TxBytes=%d, want 2/3000", l.TxPackets, l.TxBytes)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "l", 10_000_000_000, 0, NewDropTail(0, 0), HandlerFunc(func(*Packet) {}))
+	l.HandlePacket(pkt(0, 9000)) // busy for 7200 ns
+	e.Run()
+	e.RunUntil(14400) // idle for another 7200 ns
+	u := l.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestBondRoundRobin(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{engine: e}
+	l1 := NewLink(e, "m0", 10_000_000_000, 0, NewDropTail(0, 0), c)
+	l2 := NewLink(e, "m1", 10_000_000_000, 0, NewDropTail(0, 0), c)
+	b := NewBond(l1, l2)
+	for i := 0; i < 6; i++ {
+		b.HandlePacket(pkt(0, 9000))
+	}
+	e.Run()
+	if l1.TxPackets != 3 || l2.TxPackets != 3 {
+		t.Fatalf("bond split = %d/%d, want 3/3", l1.TxPackets, l2.TxPackets)
+	}
+	// Aggregate throughput is 2× one link: 6 packets finish in the time 3
+	// take on one link.
+	last := c.times[len(c.times)-1]
+	if last != 3*7200 {
+		t.Fatalf("bond finished at %d, want %d", last, 3*7200)
+	}
+}
+
+func TestBondPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty bond did not panic")
+		}
+	}()
+	NewBond()
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	e := sim.NewEngine()
+	for _, tc := range []func(){
+		func() { NewLink(e, "x", 0, 0, NewDropTail(0, 0), HandlerFunc(func(*Packet) {})) },
+		func() { NewLink(e, "x", 1, 0, nil, HandlerFunc(func(*Packet) {})) },
+		func() { NewLink(e, "x", 1, 0, NewDropTail(0, 0), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewLink did not panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"fmt"
+
+	"greenenvy/internal/sim"
+)
+
+// Switch is an output-queued store-and-forward switch, the role the Intel
+// Tofino plays in the paper's testbed. Each destination node is reached
+// through one output port (a Link with its own queue discipline); the
+// switch itself adds only a small fixed pipeline latency.
+type Switch struct {
+	Name string
+	// PipelineDelay models the forwarding pipeline (sub-microsecond on a
+	// Tofino).
+	PipelineDelay sim.Duration
+
+	engine *sim.Engine
+	ports  map[NodeID]Handler
+	// RxPackets counts packets received for forwarding.
+	RxPackets uint64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(engine *sim.Engine, name string, pipelineDelay sim.Duration) *Switch {
+	return &Switch{Name: name, PipelineDelay: pipelineDelay, engine: engine, ports: make(map[NodeID]Handler)}
+}
+
+// Connect installs the output port used to reach dst. Typically out is a
+// *Link whose far end is the destination host.
+func (s *Switch) Connect(dst NodeID, out Handler) {
+	s.ports[dst] = out
+}
+
+// Port returns the output handler for dst, or nil if none is installed.
+func (s *Switch) Port(dst NodeID) Handler { return s.ports[dst] }
+
+// HandlePacket implements Handler by forwarding to the port for p.Dst.
+func (s *Switch) HandlePacket(p *Packet) {
+	out, ok := s.ports[p.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: switch %q has no port for node %d", s.Name, p.Dst))
+	}
+	p.hops++
+	if p.hops > 32 {
+		panic("netsim: routing loop detected")
+	}
+	s.RxPackets++
+	if s.PipelineDelay > 0 {
+		s.engine.After(s.PipelineDelay, func() { out.HandlePacket(p) })
+		return
+	}
+	out.HandlePacket(p)
+}
+
+// Host is an end system: it owns an egress path toward the network and
+// demultiplexes arriving packets to per-flow handlers (the transport
+// endpoints). Energy accounting hooks observe every packet that enters or
+// leaves the host.
+type Host struct {
+	Name string
+	ID   NodeID
+
+	egress Handler
+	flows  map[FlowID]Handler
+
+	// OnSend and OnReceive, when non-nil, observe every packet leaving or
+	// entering the host. The energy model attaches here.
+	OnSend    func(p *Packet)
+	OnReceive func(p *Packet)
+
+	// RxPackets/RxBytes count packets delivered to this host.
+	RxPackets uint64
+	RxBytes   uint64
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// NewHost creates a host. Attach its egress with SetEgress before sending.
+func NewHost(id NodeID, name string) *Host {
+	return &Host{Name: name, ID: id, flows: make(map[FlowID]Handler)}
+}
+
+// SetEgress installs the first-hop handler (a Link or Bond).
+func (h *Host) SetEgress(e Handler) { h.egress = e }
+
+// Attach registers the handler that receives packets for the given flow at
+// this host.
+func (h *Host) Attach(id FlowID, fh Handler) { h.flows[id] = fh }
+
+// Detach removes a flow handler.
+func (h *Host) Detach(id FlowID) { delete(h.flows, id) }
+
+// Send transmits a packet from this host into the network.
+func (h *Host) Send(p *Packet) {
+	if h.egress == nil {
+		panic(fmt.Sprintf("netsim: host %q has no egress", h.Name))
+	}
+	p.Src = h.ID
+	h.TxPackets++
+	h.TxBytes += uint64(p.WireSize)
+	if h.OnSend != nil {
+		h.OnSend(p)
+	}
+	h.egress.HandlePacket(p)
+}
+
+// HandlePacket implements Handler: deliver to the flow's transport handler.
+// Packets for unknown flows are counted and dropped (the flow may already
+// have closed).
+func (h *Host) HandlePacket(p *Packet) {
+	h.RxPackets++
+	h.RxBytes += uint64(p.WireSize)
+	if h.OnReceive != nil {
+		h.OnReceive(p)
+	}
+	if fh, ok := h.flows[p.Flow]; ok {
+		fh.HandlePacket(p)
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+
+	"greenenvy/internal/sim"
+)
+
+// DumbbellConfig describes the paper's lab topology (§3): sender hosts
+// connected through a switch to one receiver, with the switch's output port
+// toward the receiver as the bottleneck.
+type DumbbellConfig struct {
+	// Senders is the number of sender hosts (>= 1).
+	Senders int
+	// BottleneckBps is the rate of the switch-to-receiver port
+	// (10 Gb/s in the paper).
+	BottleneckBps int64
+	// AccessBps is the rate of each host-to-switch and switch-to-host
+	// access link. The paper's sender uses 2×10 Gb/s bonded; set
+	// BondedSenderLinks to 2 to reproduce that.
+	AccessBps int64
+	// BondedSenderLinks is how many parallel access links each sender
+	// bonds round-robin (1 = no bonding).
+	BondedSenderLinks int
+	// LinkDelay is the one-way propagation delay of every link.
+	LinkDelay sim.Duration
+	// SwitchDelay is the switch pipeline latency.
+	SwitchDelay sim.Duration
+	// BottleneckQueue is the queue discipline for the bottleneck port.
+	// If nil, a drop-tail queue of BufferBytes is used.
+	BottleneckQueue Queue
+	// BufferBytes is the bottleneck buffer size used when
+	// BottleneckQueue is nil (0 picks a 1 MiB default).
+	BufferBytes int
+	// MarkBytes is the DCTCP ECN threshold for the default bottleneck
+	// queue (0 = no marking).
+	MarkBytes int
+}
+
+// DefaultDumbbell returns the §3 testbed: 10 Gb/s bottleneck, bonded
+// 2×10 Gb/s sender access, microsecond-scale datacenter latencies, and a
+// 1 MiB drop-tail bottleneck buffer.
+func DefaultDumbbell(senders int) DumbbellConfig {
+	return DumbbellConfig{
+		Senders:           senders,
+		BottleneckBps:     10_000_000_000,
+		AccessBps:         10_000_000_000,
+		BondedSenderLinks: 2,
+		LinkDelay:         5 * sim.Microsecond,
+		SwitchDelay:       sim.Microsecond,
+		BufferBytes:       1 << 20,
+	}
+}
+
+// Dumbbell is an assembled topology.
+type Dumbbell struct {
+	Engine   *sim.Engine
+	Senders  []*Host
+	Receiver *Host
+	Switch   *Switch
+	// Bottleneck is the switch-to-receiver link whose queue is the shared
+	// contention point.
+	Bottleneck *Link
+}
+
+// NewDumbbell wires up the topology described by cfg.
+//
+// Node IDs: senders are 0..Senders-1, the receiver is Senders, the switch is
+// Senders+1.
+func NewDumbbell(engine *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	if cfg.Senders < 1 {
+		panic("netsim: dumbbell needs at least one sender")
+	}
+	if cfg.BottleneckBps <= 0 || cfg.AccessBps <= 0 {
+		panic("netsim: dumbbell link rates must be positive")
+	}
+	if cfg.BondedSenderLinks <= 0 {
+		cfg.BondedSenderLinks = 1
+	}
+	bufBytes := cfg.BufferBytes
+	if bufBytes == 0 {
+		bufBytes = 1 << 20
+	}
+
+	d := &Dumbbell{Engine: engine}
+	recvID := NodeID(cfg.Senders)
+	d.Receiver = NewHost(recvID, "receiver")
+	d.Switch = NewSwitch(engine, "tofino", cfg.SwitchDelay)
+
+	// Bottleneck port: switch -> receiver.
+	bq := cfg.BottleneckQueue
+	if bq == nil {
+		bq = NewDropTail(bufBytes, cfg.MarkBytes)
+	}
+	d.Bottleneck = NewLink(engine, "bottleneck", cfg.BottleneckBps, cfg.LinkDelay, bq, d.Receiver)
+	d.Switch.Connect(recvID, d.Bottleneck)
+
+	// Receiver's egress goes back through the switch (for ACKs).
+	revAccess := NewLink(engine, "receiver-uplink", cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), d.Switch)
+	d.Receiver.SetEgress(revAccess)
+
+	for i := 0; i < cfg.Senders; i++ {
+		h := NewHost(NodeID(i), fmt.Sprintf("sender%d", i))
+		// Uplink(s): host -> switch, optionally bonded.
+		if cfg.BondedSenderLinks > 1 {
+			links := make([]*Link, cfg.BondedSenderLinks)
+			for j := range links {
+				links[j] = NewLink(engine, fmt.Sprintf("%s-uplink%d", h.Name, j), cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), d.Switch)
+			}
+			h.SetEgress(NewBond(links...))
+		} else {
+			h.SetEgress(NewLink(engine, h.Name+"-uplink", cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), d.Switch))
+		}
+		// Downlink: switch -> host (carries ACKs; never congested).
+		down := NewLink(engine, h.Name+"-downlink", cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), h)
+		d.Switch.Connect(h.ID, down)
+		d.Senders = append(d.Senders, h)
+	}
+	return d
+}
+
+// BottleneckDRR returns the bottleneck queue as a *DRR, or nil if the
+// bottleneck uses a different discipline. Experiments that sweep bandwidth
+// allocations use this to set per-flow weights.
+func (d *Dumbbell) BottleneckDRR() *DRR {
+	q, _ := d.Bottleneck.Queue().(*DRR)
+	return q
+}
+
+// AllHosts returns senders plus the receiver.
+func (d *Dumbbell) AllHosts() []*Host {
+	return append(append([]*Host{}, d.Senders...), d.Receiver)
+}

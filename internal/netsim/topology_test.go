@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+func TestSwitchForwardsByDestination(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, "sw", 0)
+	var got []NodeID
+	sw.Connect(1, HandlerFunc(func(p *Packet) { got = append(got, p.Dst) }))
+	sw.Connect(2, HandlerFunc(func(p *Packet) { got = append(got, p.Dst) }))
+	sw.HandlePacket(&Packet{Dst: 2, WireSize: 100})
+	sw.HandlePacket(&Packet{Dst: 1, WireSize: 100})
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("forwarded = %v", got)
+	}
+	if sw.RxPackets != 2 {
+		t.Fatalf("RxPackets = %d", sw.RxPackets)
+	}
+}
+
+func TestSwitchPipelineDelay(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, "sw", sim.Microsecond)
+	var at sim.Time
+	sw.Connect(1, HandlerFunc(func(p *Packet) { at = e.Now() }))
+	sw.HandlePacket(&Packet{Dst: 1, WireSize: 100})
+	e.Run()
+	if at != sim.Microsecond {
+		t.Fatalf("delivered at %d, want 1µs", at)
+	}
+}
+
+func TestSwitchUnknownPortPanics(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, "sw", 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown destination did not panic")
+		}
+	}()
+	sw.HandlePacket(&Packet{Dst: 9})
+}
+
+func TestHostDemux(t *testing.T) {
+	h := NewHost(0, "h")
+	var got []FlowID
+	h.Attach(7, HandlerFunc(func(p *Packet) { got = append(got, p.Flow) }))
+	h.HandlePacket(&Packet{Flow: 7, WireSize: 100})
+	h.HandlePacket(&Packet{Flow: 8, WireSize: 100}) // unknown: dropped quietly
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("demux = %v", got)
+	}
+	if h.RxPackets != 2 || h.RxBytes != 200 {
+		t.Fatalf("rx counters = %d/%d", h.RxPackets, h.RxBytes)
+	}
+	h.Detach(7)
+	h.HandlePacket(&Packet{Flow: 7, WireSize: 100})
+	if len(got) != 1 {
+		t.Fatal("detached flow still delivered")
+	}
+}
+
+func TestHostSendStampsSourceAndHooks(t *testing.T) {
+	h := NewHost(3, "h")
+	var sent *Packet
+	h.SetEgress(HandlerFunc(func(p *Packet) { sent = p }))
+	hooked := 0
+	h.OnSend = func(p *Packet) { hooked++ }
+	h.Send(&Packet{Flow: 1, WireSize: 1500})
+	if sent == nil || sent.Src != 3 {
+		t.Fatalf("sent = %+v", sent)
+	}
+	if hooked != 1 {
+		t.Fatal("OnSend hook not called")
+	}
+	if h.TxPackets != 1 || h.TxBytes != 1500 {
+		t.Fatalf("tx counters = %d/%d", h.TxPackets, h.TxBytes)
+	}
+}
+
+func TestHostSendWithoutEgressPanics(t *testing.T) {
+	h := NewHost(0, "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("send without egress did not panic")
+		}
+	}()
+	h.Send(&Packet{})
+}
+
+func TestDumbbellEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultDumbbell(2)
+	d := NewDumbbell(e, cfg)
+	if len(d.Senders) != 2 {
+		t.Fatalf("senders = %d", len(d.Senders))
+	}
+
+	// Sender 0 sends a data packet to the receiver; receiver echoes an
+	// ACK back. Both directions must work.
+	var dataAt, ackAt sim.Time
+	d.Receiver.Attach(1, HandlerFunc(func(p *Packet) {
+		dataAt = e.Now()
+		d.Receiver.Send(&Packet{Flow: 1, Dst: d.Senders[0].ID, Flags: FlagACK, WireSize: 60})
+	}))
+	d.Senders[0].Attach(1, HandlerFunc(func(p *Packet) {
+		if !p.Flags.Has(FlagACK) {
+			t.Errorf("sender received non-ACK %v", p)
+		}
+		ackAt = e.Now()
+	}))
+	d.Senders[0].Send(&Packet{Flow: 1, Dst: d.Receiver.ID, DataLen: 8940, WireSize: 9000})
+	e.Run()
+	if dataAt == 0 || ackAt <= dataAt {
+		t.Fatalf("dataAt=%v ackAt=%v", dataAt, ackAt)
+	}
+	// Forward path: uplink serialization 7.2µs + 5µs prop + 1µs switch +
+	// bottleneck 7.2µs + 5µs prop = 25.4µs.
+	want := sim.Time(7200 + 5000 + 1000 + 7200 + 5000)
+	if dataAt != want {
+		t.Fatalf("dataAt = %d, want %d", dataAt, want)
+	}
+}
+
+func TestDumbbellBondSpreadsSenderTraffic(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultDumbbell(1)
+	d := NewDumbbell(e, cfg)
+	bond, ok := d.Senders[0].egressAsBond()
+	if !ok {
+		t.Fatal("sender egress is not a bond with BondedSenderLinks=2")
+	}
+	for i := 0; i < 4; i++ {
+		d.Senders[0].Send(&Packet{Flow: 1, Dst: d.Receiver.ID, WireSize: 9000})
+	}
+	e.Run()
+	m := bond.Members()
+	if m[0].TxPackets != 2 || m[1].TxPackets != 2 {
+		t.Fatalf("bond split %d/%d, want 2/2", m[0].TxPackets, m[1].TxPackets)
+	}
+}
+
+func TestDumbbellBottleneckDRR(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultDumbbell(2)
+	cfg.BottleneckQueue = NewDRR(1<<20, 0)
+	d := NewDumbbell(e, cfg)
+	if d.BottleneckDRR() == nil {
+		t.Fatal("BottleneckDRR returned nil for DRR bottleneck")
+	}
+	cfg2 := DefaultDumbbell(1)
+	d2 := NewDumbbell(e, cfg2)
+	if d2.BottleneckDRR() != nil {
+		t.Fatal("BottleneckDRR should be nil for drop-tail bottleneck")
+	}
+}
+
+func TestDumbbellValidation(t *testing.T) {
+	e := sim.NewEngine()
+	for _, cfg := range []DumbbellConfig{
+		{Senders: 0, BottleneckBps: 1, AccessBps: 1},
+		{Senders: 1, BottleneckBps: 0, AccessBps: 1},
+		{Senders: 1, BottleneckBps: 1, AccessBps: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewDumbbell(e, cfg)
+		}()
+	}
+}
+
+func TestDumbbellAllHosts(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDumbbell(e, DefaultDumbbell(3))
+	hosts := d.AllHosts()
+	if len(hosts) != 4 {
+		t.Fatalf("AllHosts = %d, want 4", len(hosts))
+	}
+	if hosts[3] != d.Receiver {
+		t.Fatal("receiver not last in AllHosts")
+	}
+}
+
+func TestThroughputMonitor(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewThroughputMonitor(e, 10*sim.Millisecond)
+	m.Start()
+	// Deliver 12.5 MB over the first 10ms window => 10 Gb/s.
+	e.At(sim.Millisecond, func() { m.Observe(1, 12_500_000) })
+	e.RunUntil(25 * sim.Millisecond)
+	m.Stop()
+	e.Run()
+	s := m.Series(1)
+	if len(s) == 0 {
+		t.Fatal("no samples")
+	}
+	first := s[0]
+	if first.At != 10*sim.Millisecond {
+		t.Fatalf("first sample at %v", first.At)
+	}
+	wantBps := 12_500_000.0 * 8 / 0.01
+	if first.Bps != wantBps {
+		t.Fatalf("sample = %v bps, want %v", first.Bps, wantBps)
+	}
+	// Second window has no new bytes: zero throughput.
+	if len(s) > 1 && s[1].Bps != 0 {
+		t.Fatalf("second sample = %v, want 0", s[1].Bps)
+	}
+	if len(m.Flows()) != 1 {
+		t.Fatalf("Flows = %v", m.Flows())
+	}
+}
+
+func TestThroughputMonitorBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval did not panic")
+		}
+	}()
+	NewThroughputMonitor(sim.NewEngine(), 0)
+}
+
+// egressAsBond is a test helper peeking at the host's egress.
+func (h *Host) egressAsBond() (*Bond, bool) {
+	b, ok := h.egress.(*Bond)
+	return b, ok
+}

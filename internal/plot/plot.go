@@ -1,0 +1,267 @@
+// Package plot is a small stdlib-only SVG chart renderer used to draw the
+// paper's figures from regenerated data: line charts (Figures 1–4), grouped
+// bar charts (Figures 5–6), and scatter plots with optional logarithmic x
+// axes (Figures 7–8).
+//
+// It intentionally supports exactly what the paper's figures need — one
+// x/y plane, multiple named series, ticks, labels, and a legend — and emits
+// self-contained SVG documents.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named data set.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes a figure to render.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Kind selects the mark: "line", "scatter", or "bar".
+	Kind string
+	// LogX uses a log10 x axis (scatter only; Figure 8's retransmission
+	// axis).
+	LogX bool
+	// Series holds the data. For bar charts, every series must share the
+	// same X positions (category indices).
+	Series []Series
+	// XTickLabels overrides numeric x ticks (bar categories).
+	XTickLabels []string
+
+	// Width and Height default to 720×440.
+	Width, Height int
+}
+
+// palette holds the series colors (Okabe–Ito, colorblind-safe).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7",
+	"#56B4E9", "#F0E442", "#000000", "#999999", "#8E44AD",
+}
+
+type bounds struct{ xmin, xmax, ymin, ymax float64 }
+
+// SVG renders the chart.
+func (c Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+	}
+	switch c.Kind {
+	case "line", "scatter", "bar":
+	default:
+		return "", fmt.Errorf("plot: unknown kind %q", c.Kind)
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 440
+	}
+	const (
+		left, right, top, bottom = 70, 20, 40, 55
+	)
+	pw, ph := float64(w-left-right), float64(h-top-bottom)
+
+	b, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+
+	xpos := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		return float64(left) + (x-b.xmin)/(b.xmax-b.xmin)*pw
+	}
+	ypos := func(y float64) float64 {
+		return float64(top) + ph - (y-b.ymin)/(b.ymax-b.ymin)*ph
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="%d" y="22" text-anchor="middle" font-size="15">%s</text>`+"\n", w/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, top, left, h-bottom)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, h-bottom, w-right, h-bottom)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", w/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="18" y="%d" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n", h/2, h/2, esc(c.YLabel))
+
+	// Ticks.
+	c.renderXTicks(&sb, b, xpos, h-bottom)
+	for _, ty := range ticks(b.ymin, b.ymax, 6) {
+		y := ypos(ty)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y, w-right, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n", left-6, y+4, fmtTick(ty))
+	}
+
+	// Marks.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		switch c.Kind {
+		case "line":
+			var pts []string
+			for j := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(s.X[j]), ypos(s.Y[j])))
+			}
+			fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		case "scatter":
+			for j := range s.X {
+				fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"/>`+"\n", xpos(s.X[j]), ypos(s.Y[j]), color)
+			}
+		case "bar":
+			group := pw / float64(len(s.X))
+			bw := group / float64(len(c.Series)+1)
+			for j := range s.X {
+				x := float64(left) + group*float64(j) + bw*float64(i) + bw/2
+				y := ypos(s.Y[j])
+				fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, bw, float64(h-bottom)-y, color)
+			}
+		}
+	}
+
+	// Legend.
+	lx, ly := w-right-150, top+8
+	for i, s := range c.Series {
+		if s.Name == "" {
+			continue
+		}
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly+i*18, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", lx+17, ly+i*18+10, esc(s.Name))
+	}
+
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+func (c Chart) bounds() (bounds, error) {
+	b := bounds{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+	for _, s := range c.Series {
+		for j := range s.X {
+			x := s.X[j]
+			if c.LogX {
+				if x <= 0 {
+					x = 1 // clamp zero counts onto the axis
+				}
+				x = math.Log10(x)
+			}
+			b.xmin = math.Min(b.xmin, x)
+			b.xmax = math.Max(b.xmax, x)
+			b.ymin = math.Min(b.ymin, s.Y[j])
+			b.ymax = math.Max(b.ymax, s.Y[j])
+		}
+	}
+	if c.Kind == "bar" {
+		b.ymin = math.Min(b.ymin, 0)
+		b.xmin -= 0.5
+		b.xmax += 0.5
+	}
+	if b.ymin == b.ymax {
+		b.ymax = b.ymin + 1
+	}
+	if b.xmin == b.xmax {
+		b.xmax = b.xmin + 1
+	}
+	// Headroom above the data.
+	b.ymax += (b.ymax - b.ymin) * 0.08
+	return b, nil
+}
+
+func (c Chart) renderXTicks(sb *strings.Builder, b bounds, xpos func(float64) float64, axisY int) {
+	if len(c.XTickLabels) > 0 {
+		for j, lbl := range c.XTickLabels {
+			x := xpos(float64(j))
+			fmt.Fprintf(sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", x, axisY+16, esc(lbl))
+		}
+		return
+	}
+	if c.LogX {
+		for e := math.Floor(b.xmin); e <= math.Ceil(b.xmax); e++ {
+			x := xpos(math.Pow(10, e))
+			fmt.Fprintf(sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#bbb"/>`+"\n", x, axisY, x, axisY+4)
+			fmt.Fprintf(sb, `<text x="%.1f" y="%d" text-anchor="middle">1e%d</text>`+"\n", x, axisY+16, int(e))
+		}
+		return
+	}
+	for _, tx := range ticks(b.xmin, b.xmax, 8) {
+		x := xpos(tx)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#bbb"/>`+"\n", x, axisY, x, axisY+4)
+		fmt.Fprintf(sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", x, axisY+16, fmtTick(tx))
+	}
+}
+
+// ticks picks ~n round tick values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SortSeriesByX sorts a series' points by x, keeping pairs aligned (useful
+// before line rendering).
+func SortSeriesByX(s *Series) {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	nx := make([]float64, len(idx))
+	ny := make([]float64, len(idx))
+	for i, j := range idx {
+		nx[i], ny[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = nx, ny
+}

@@ -1,0 +1,166 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title: "t", XLabel: "x", YLabel: "y", Kind: "line",
+		Series: []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 9}}},
+	}
+}
+
+func TestLineChartRenders(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "<polyline", ">t<", ">x<", ">y<"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg[:200])
+		}
+	}
+}
+
+func TestScatterChartRenders(t *testing.T) {
+	c := lineChart()
+	c.Kind = "scatter"
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("want 3 circles, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	c := Chart{
+		Title: "bars", Kind: "bar",
+		XTickLabels: []string{"a", "b"},
+		Series: []Series{
+			{Name: "s1", X: []float64{0, 1}, Y: []float64{2, 3}},
+			{Name: "s2", X: []float64{0, 1}, Y: []float64{1, 5}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 bars plus 2 legend swatches plus background.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Fatalf("rect count = %d, want 7", got)
+	}
+	if !strings.Contains(svg, ">a<") || !strings.Contains(svg, ">b<") {
+		t.Fatal("category labels missing")
+	}
+}
+
+func TestLogXScatter(t *testing.T) {
+	c := Chart{
+		Title: "log", Kind: "scatter", LogX: true,
+		Series: []Series{{Name: "s", X: []float64{1, 100, 1e6}, Y: []float64{1, 2, 3}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "1e0") || !strings.Contains(svg, "1e6") {
+		t.Fatal("log ticks missing")
+	}
+}
+
+func TestLogXClampsZero(t *testing.T) {
+	c := Chart{
+		Kind: "scatter", LogX: true,
+		Series: []Series{{X: []float64{0, 10}, Y: []float64{1, 2}}},
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("zero count on log axis: %v", err)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	if _, err := (Chart{Kind: "line"}).SVG(); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := (Chart{Kind: "pie", Series: lineChart().Series}).SVG(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	bad := Chart{Kind: "line", Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := Chart{Kind: "line", Series: []Series{{}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := lineChart()
+	c.Title = "a<b & c>d"
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestTicksRound(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 3 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for _, v := range ts {
+		if v < 0 || v > 10.001 {
+			t.Fatalf("tick %v outside range", v)
+		}
+	}
+	// Degenerate range.
+	if got := ticks(5, 5, 4); len(got) != 2 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		25_000:    "25k",
+		42:        "42",
+		0.25:      "0.25",
+		3:         "3",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortSeriesByX(t *testing.T) {
+	s := Series{X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}}
+	SortSeriesByX(&s)
+	for i, want := range []float64{1, 2, 3} {
+		if s.X[i] != want || s.Y[i] != want*10 {
+			t.Fatalf("sorted = %v / %v", s.X, s.Y)
+		}
+	}
+}
+
+func TestConstantSeriesBounds(t *testing.T) {
+	c := Chart{Kind: "line", Series: []Series{{X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate bounds leaked NaN/Inf")
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,192 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the greenenvy testbed: a virtual clock, an event queue with deterministic
+// tie-breaking, and seeded randomness helpers.
+//
+// Time is measured in integer nanoseconds from the start of the simulation.
+// All components in internal/netsim, internal/tcp and internal/energy are
+// driven from a single Engine, so a run is fully deterministic given its
+// seed: no wall-clock time ever enters the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring the time package for readability.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulated time. It is used as an
+// "infinitely far in the future" sentinel for timers that are not armed.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time in seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a unit of scheduled work. Events are ordered by time; events at
+// the same time fire in the order they were scheduled (FIFO), which keeps
+// runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // index in the heap, -1 once popped or cancelled
+}
+
+// Time returns the simulated time at which the event fires (or was to fire).
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel is O(log n).
+func (e *Event) Cancel() {
+	e.dead = true
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+	// Stop aborts Run when set; checked between events.
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) panics: it would make the clock run backwards, which is always a
+// bug in the caller.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event heap produced an event in the past")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the time of the last executed event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline, then advances the
+// clock to the deadline if it is beyond the last event executed.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek: the heap root is the earliest event.
+		if e.events[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor executes events for d nanoseconds of simulated time from now.
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + d) }

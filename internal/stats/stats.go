@@ -1,0 +1,157 @@
+// Package stats provides the statistical helpers the paper's analysis uses:
+// mean and standard deviation over repeated runs (§3 reports std over 10
+// repetitions), Pearson correlation (§4.3 reports corr(energy, power) ≈
+// −0.8; §4.5 corr(energy, retransmissions) ≈ 0.47), Jain's fairness index,
+// and ordinary least squares for trend lines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, or NaN for an empty
+// slice.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both moments in one pass over the callers' data.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Min and Max return the extremes; NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Pearson returns the sample correlation coefficient of paired data. It
+// returns NaN when fewer than two pairs are given, when the lengths differ,
+// or when either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// JainIndex returns Jain's fairness index of an allocation:
+// (Σx)² / (n·Σx²). It is 1 for equal shares and 1/n when one party takes
+// everything. Empty or all-zero input yields NaN.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// OLS fits y = a + b·x by ordinary least squares and returns the intercept
+// and slope. It returns NaNs for degenerate input.
+func OLS(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN()
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation
+// over a copy of the data. NaN for empty input or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(rank)
+	if lo >= len(cp)-1 {
+		return cp[len(cp)-1]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Summary is a formatted mean ± std pair.
+func Summary(xs []float64) string {
+	m, s := MeanStd(xs)
+	return fmt.Sprintf("%.3f ± %.3f", m, s)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("std = %v, want 2", s)
+	}
+	m, s := MeanStd(xs)
+	if m != 5 || s != 2 {
+		t.Fatalf("MeanStd = %v, %v", m, s)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	for name, v := range map[string]float64{
+		"mean": Mean(nil), "std": StdDev(nil), "min": Min(nil),
+		"max": Max(nil), "jain": JainIndex(nil), "pct": Percentile(nil, 50),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s(nil) = %v, want NaN", name, v)
+		}
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("Pearson of single pair should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeriesNaN(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("constant x should give NaN")
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, -1, 1, -1}
+	if r := Pearson(xs, ys); math.Abs(r) > 0.5 {
+		t.Fatalf("r = %v, want near 0", r)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %v, want 1", j)
+	}
+	if j := JainIndex([]float64{10, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("monopoly of 4: %v, want 0.25", j)
+	}
+	if !math.IsNaN(JainIndex([]float64{0, 0})) {
+		t.Fatal("all-zero should be NaN")
+	}
+}
+
+// Property: Jain index is always in [1/n, 1] for nonzero allocations.
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r > 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		j := JainIndex(xs)
+		n := float64(len(xs))
+		return j >= 1/n-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLS(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := OLS(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("OLS = %v + %v x", a, b)
+	}
+	a, b = OLS([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Fatal("degenerate OLS should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if !math.IsNaN(Percentile(xs, 101)) {
+		t.Fatal("p>100 should be NaN")
+	}
+	if p := Percentile([]float64{7}, 99); p != 7 {
+		t.Fatalf("single-element percentile = %v", p)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := Summary([]float64{1, 1, 1})
+	if s != "1.000 ± 0.000" {
+		t.Fatalf("Summary = %q", s)
+	}
+}

@@ -1,0 +1,69 @@
+// Package stress emulates the Linux `stress` tool the paper uses in §4.2 to
+// "generate load on a certain number of cores at the end-host in addition
+// to the CUBIC traffic". Its only observable effect in the testbed is the
+// background CPU utilization it imposes on a host's energy meter.
+package stress
+
+import (
+	"fmt"
+
+	"greenenvy/internal/energy"
+	"greenenvy/internal/sim"
+)
+
+// Load is a running background workload on one host.
+type Load struct {
+	meter   *energy.Meter
+	workers int
+	cores   int
+	active  bool
+}
+
+// Start spins up `workers` busy cores on the host behind meter, like
+// `stress --cpu N`. It returns an error if workers is negative or exceeds
+// the host's core count.
+func Start(meter *energy.Meter, workers int) (*Load, error) {
+	cores := meter.Costs.Cores
+	if workers < 0 || workers > cores {
+		return nil, fmt.Errorf("stress: %d workers out of range [0, %d]", workers, cores)
+	}
+	l := &Load{meter: meter, workers: workers, cores: cores, active: true}
+	meter.SetBaseLoad(float64(workers) / float64(cores))
+	return l, nil
+}
+
+// StartFraction starts a load expressed as a fraction of total CPU (the
+// paper's "Server Load (%)" axis in Figure 4), rounding to whole cores.
+func StartFraction(meter *energy.Meter, frac float64) (*Load, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("stress: fraction %v out of [0,1]", frac)
+	}
+	workers := int(frac*float64(meter.Costs.Cores) + 0.5)
+	return Start(meter, workers)
+}
+
+// Workers reports the number of busy cores.
+func (l *Load) Workers() int { return l.workers }
+
+// Fraction reports the load as a fraction of total CPU.
+func (l *Load) Fraction() float64 { return float64(l.workers) / float64(l.cores) }
+
+// Stop ends the workload. Stopping twice is an error to catch double
+// bookkeeping in experiment harnesses.
+func (l *Load) Stop() error {
+	if !l.active {
+		return fmt.Errorf("stress: load already stopped")
+	}
+	l.active = false
+	l.meter.SetBaseLoad(0)
+	return nil
+}
+
+// RunFor schedules the load to stop after d of simulated time.
+func (l *Load) RunFor(engine *sim.Engine, d sim.Duration) {
+	engine.After(d, func() {
+		if l.active {
+			_ = l.Stop()
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package stress
+
+import (
+	"math"
+	"testing"
+
+	"greenenvy/internal/energy"
+	"greenenvy/internal/sim"
+)
+
+func newMeter() (*sim.Engine, *energy.Meter) {
+	e := sim.NewEngine()
+	return e, energy.NewMeter(e, energy.ServerCurve(), energy.DefaultCostModel())
+}
+
+func TestStartSetsBaseLoad(t *testing.T) {
+	_, m := newMeter()
+	l, err := Start(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Workers() != 16 {
+		t.Fatalf("workers = %d", l.Workers())
+	}
+	if math.Abs(l.Fraction()-0.5) > 1e-12 {
+		t.Fatalf("fraction = %v", l.Fraction())
+	}
+	if m.BaseLoad() != 0.5 {
+		t.Fatalf("meter base load = %v", m.BaseLoad())
+	}
+}
+
+func TestStartFractionRounds(t *testing.T) {
+	_, m := newMeter()
+	l, err := StartFraction(m, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Workers() != 24 {
+		t.Fatalf("workers = %d, want 24 of 32", l.Workers())
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	_, m := newMeter()
+	if _, err := Start(m, -1); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := Start(m, 33); err == nil {
+		t.Error("too many workers accepted")
+	}
+	if _, err := StartFraction(m, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestStopClearsLoadOnce(t *testing.T) {
+	_, m := newMeter()
+	l, err := Start(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if m.BaseLoad() != 0 {
+		t.Fatalf("base load = %v after stop", m.BaseLoad())
+	}
+	if err := l.Stop(); err == nil {
+		t.Error("double Stop accepted")
+	}
+}
+
+func TestRunForStopsAutomatically(t *testing.T) {
+	e, m := newMeter()
+	l, err := Start(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RunFor(e, 2*sim.Second)
+	e.RunUntil(5 * sim.Second)
+	m.Sync()
+	if m.BaseLoad() != 0 {
+		t.Fatal("load still active after RunFor deadline")
+	}
+	// Energy: 2 s at full load plus 3 s idle.
+	full := energy.ServerCurve().PowerLoaded(1, 0)
+	want := full*2 + 21.49*3
+	if math.Abs(m.Joules()-want) > 0.5 {
+		t.Fatalf("energy = %v, want %v", m.Joules(), want)
+	}
+}

@@ -1,0 +1,207 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetAddDisjoint(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if s.len() != 2 || s.bytes() != 20 {
+		t.Fatalf("len=%d bytes=%d", s.len(), s.bytes())
+	}
+	if !s.contains(15) || s.contains(25) || !s.contains(30) || s.contains(40) {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestRangeSetMergeOverlapping(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(15, 30)
+	if s.len() != 1 || s.bytes() != 20 {
+		t.Fatalf("merge failed: len=%d bytes=%d ranges=%v", s.len(), s.bytes(), s.ranges)
+	}
+}
+
+func TestRangeSetMergeAdjacent(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(20, 30)
+	if s.len() != 1 || s.bytes() != 20 {
+		t.Fatalf("adjacent merge failed: %v", s.ranges)
+	}
+}
+
+func TestRangeSetBridgeMerge(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(30, 40)
+	s.add(18, 32) // bridges both
+	if s.len() != 1 || s.bytes() != 30 {
+		t.Fatalf("bridge merge failed: %v", s.ranges)
+	}
+}
+
+func TestRangeSetAddReturnsMerged(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	got := s.add(20, 30)
+	if got.Start != 10 || got.End != 30 {
+		t.Fatalf("merged = %+v", got)
+	}
+}
+
+func TestRangeSetInsertInMiddle(t *testing.T) {
+	var s rangeSet
+	s.add(100, 110)
+	s.add(10, 20)
+	s.add(50, 60)
+	if s.len() != 3 {
+		t.Fatalf("ranges = %v", s.ranges)
+	}
+	// Sorted order maintained.
+	for i := 1; i < len(s.ranges); i++ {
+		if s.ranges[i].Start < s.ranges[i-1].End {
+			t.Fatalf("ranges unsorted: %v", s.ranges)
+		}
+	}
+}
+
+func TestRangeSetPopBelow(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(30, 40)
+	// popBelow(10): first range starts at 10 <= 10, so delivery extends
+	// through it.
+	if got := s.popBelow(10); got != 20 {
+		t.Fatalf("popBelow(10) = %d, want 20", got)
+	}
+	if s.len() != 1 {
+		t.Fatalf("remaining = %v", s.ranges)
+	}
+	// popBelow(25): next range starts at 30 > 25; limit unchanged.
+	if got := s.popBelow(25); got != 25 {
+		t.Fatalf("popBelow(25) = %d, want 25", got)
+	}
+	if got := s.popBelow(30); got != 40 {
+		t.Fatalf("popBelow(30) = %d, want 40", got)
+	}
+	if s.len() != 0 {
+		t.Fatal("ranges left")
+	}
+}
+
+func TestRangeSetPopBelowChain(t *testing.T) {
+	var s rangeSet
+	s.add(10, 20)
+	s.add(20, 30) // merges
+	s.add(40, 50)
+	if got := s.popBelow(10); got != 30 {
+		t.Fatalf("chained pop = %d, want 30", got)
+	}
+}
+
+func TestRangeSetEmptyAdd(t *testing.T) {
+	var s rangeSet
+	s.add(10, 10)
+	s.add(20, 10)
+	if s.len() != 0 {
+		t.Fatalf("degenerate ranges stored: %v", s.ranges)
+	}
+}
+
+func TestRangeSetBlocks(t *testing.T) {
+	var s rangeSet
+	for i := uint64(0); i < 10; i++ {
+		s.add(i*20, i*20+10)
+	}
+	if got := len(s.blocks(4)); got != 4 {
+		t.Fatalf("blocks(4) = %d", got)
+	}
+	if got := len(s.blocks(20)); got != 10 {
+		t.Fatalf("blocks(20) = %d", got)
+	}
+}
+
+// Property: after arbitrary adds, ranges are sorted, disjoint,
+// non-adjacent, and cover exactly the added bytes.
+func TestRangeSetInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var s rangeSet
+		covered := map[uint64]bool{}
+		for _, op := range ops {
+			start := uint64(op % 500)
+			length := uint64(op%37) + 1
+			s.add(start, start+length)
+			for b := start; b < start+length; b++ {
+				covered[b] = true
+			}
+		}
+		// Invariants.
+		for i, r := range s.ranges {
+			if r.Start >= r.End {
+				return false
+			}
+			if i > 0 && s.ranges[i-1].End >= r.Start {
+				return false // overlapping or adjacent (should merge)
+			}
+		}
+		if s.bytes() != uint64(len(covered)) {
+			return false
+		}
+		for b := range covered {
+			if !s.contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	var r rttEstimator
+	if r.rto() != 1_000_000_000 {
+		t.Fatalf("pre-sample RTO = %v, want 1s", r.rto())
+	}
+	r.sample(100_000) // 100 µs
+	if r.srtt != 100_000 || r.rttvar != 50_000 {
+		t.Fatalf("first sample: srtt=%v rttvar=%v", r.srtt, r.rttvar)
+	}
+	if r.minRTT != 100_000 {
+		t.Fatalf("minRTT = %v", r.minRTT)
+	}
+	// Steady equal samples converge rttvar to 0 and keep srtt.
+	for i := 0; i < 100; i++ {
+		r.sample(100_000)
+	}
+	if r.srtt != 100_000 {
+		t.Fatalf("srtt drifted: %v", r.srtt)
+	}
+	if r.rttvar > 1000 {
+		t.Fatalf("rttvar = %v, want ~0", r.rttvar)
+	}
+	// A lower sample updates minRTT.
+	r.sample(60_000)
+	if r.minRTT != 60_000 {
+		t.Fatalf("minRTT = %v, want 60µs", r.minRTT)
+	}
+	// Ignore non-positive samples.
+	r.sample(0)
+	r.sample(-5)
+	if r.minRTT != 60_000 {
+		t.Fatal("bad samples changed state")
+	}
+}
+
+func TestConfigMSS(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MSS() != 9000-HeaderBytes {
+		t.Fatalf("MSS = %d", cfg.MSS())
+	}
+}

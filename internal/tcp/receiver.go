@@ -1,0 +1,297 @@
+package tcp
+
+import (
+	"greenenvy/internal/energy"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/sim"
+)
+
+// Receiver is the TCP data sink: it tracks in-order delivery, buffers
+// out-of-order data for SACK generation, runs delayed ACKs, and echoes ECN
+// marks (either the classic latched ECE or DCTCP's precise per-packet echo).
+type Receiver struct {
+	engine  *sim.Engine
+	host    *netsim.Host
+	flow    netsim.FlowID
+	src     netsim.NodeID
+	cfg     Config
+	account *energy.Account
+
+	rcvNxt    uint64
+	ooo       rangeSet
+	unacked   int // full segments received since last ACK
+	delack    *sim.Event
+	ceState   bool // DCTCP: CE value of the most recent segment
+	ecePend   bool // whether the next ACK should carry ECE
+	eceLatch  bool // classic ECN: latched until (never, in our sim) CWR
+	preciseCE bool // DCTCP-style accurate ECE feedback
+
+	// recent holds representative sequence numbers of the most recently
+	// updated out-of-order ranges, newest first, for RFC 2018-compliant
+	// SACK block ordering (the block containing the most recently
+	// received segment must come first, so the sender's scoreboard
+	// converges even when there are more holes than SACK option space).
+	recent []uint64
+
+	// OnData observes in-order payload delivery (newly contiguous bytes);
+	// throughput monitors attach here.
+	OnData func(bytes int)
+
+	// rxFreeAt is when the serialized receive path becomes free; the
+	// gap to now is the ring backlog.
+	rxFreeAt sim.Time
+	// lastINT is the most recent data packet's telemetry, echoed on the
+	// next ACK (HPCC). rxBytes counts wire bytes processed, exposed as
+	// the NIC hop's transmit counter.
+	lastINT []netsim.INTHop
+	rxBytes uint64
+
+	// Counters.
+	TotalReceived  uint64 // in-order bytes delivered
+	SegmentsRecvd  uint64
+	DupSegments    uint64
+	AcksSent       uint64
+	CEMarksSeen    uint64
+	RxDropped      uint64 // segments dropped by receive-ring overflow
+	OutOfOrderHigh int    // high-water mark of buffered OOO ranges
+}
+
+// NewReceiver creates a receiver for flow on host, sending ACKs back to the
+// sender node src. preciseCE selects DCTCP-style ECN feedback; the energy
+// account may be nil.
+func NewReceiver(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, src netsim.NodeID, cfg Config, preciseCE bool, account *energy.Account) *Receiver {
+	r := &Receiver{
+		engine:    engine,
+		host:      host,
+		flow:      flow,
+		src:       src,
+		cfg:       cfg,
+		account:   account,
+		preciseCE: preciseCE,
+	}
+	host.Attach(flow, netsim.HandlerFunc(r.handleData))
+	return r
+}
+
+// RcvNxt returns the next expected sequence number (in-order bytes
+// delivered so far).
+func (r *Receiver) RcvNxt() uint64 { return r.rcvNxt }
+
+func (r *Receiver) handleData(p *netsim.Packet) {
+	if p.DataLen == 0 {
+		return // stray ACK or control packet
+	}
+	// Serialized receive-path model: ring admission, then processing
+	// after the backlog drains.
+	if r.cfg.RxPathCost > 0 {
+		now := r.engine.Now()
+		if r.rxFreeAt < now {
+			r.rxFreeAt = now
+		}
+		ring := r.cfg.RxRingPackets
+		if ring == 0 {
+			ring = 512
+		}
+		if int((r.rxFreeAt-now)/r.cfg.RxPathCost) >= ring {
+			r.RxDropped++
+			return
+		}
+		r.rxFreeAt += r.cfg.RxPathCost
+		if done := r.rxFreeAt; done > now {
+			r.engine.At(done, func() { r.process(p) })
+			return
+		}
+	}
+	r.process(p)
+}
+
+func (r *Receiver) process(p *netsim.Packet) {
+	r.SegmentsRecvd++
+	if p.Flags.Has(netsim.FlagINT) {
+		// The receiving NIC is itself an INT hop (as in the HPCC paper,
+		// where the NIC heads the hop list): expose the receive ring's
+		// occupancy and drain rate so telemetry-driven senders can see
+		// host-side bottlenecks, not just switch queues.
+		if r.cfg.RxPathCost > 0 {
+			now := r.engine.Now()
+			backlog := 0
+			if r.rxFreeAt > now {
+				backlog = int(int64(r.rxFreeAt-now) * int64(p.WireSize) / int64(r.cfg.RxPathCost))
+			}
+			p.INT = append(p.INT, netsim.INTHop{
+				QueueBytes: backlog,
+				TxBytes:    r.rxBytes,
+				At:         now,
+				RateBps:    int64(p.WireSize) * 8 * int64(sim.Second) / int64(r.cfg.RxPathCost),
+			})
+		}
+		r.lastINT = p.INT
+	}
+	r.rxBytes += uint64(p.WireSize)
+	r.account.ReceivedData()
+	now := p.SentAt
+
+	// ECN processing.
+	ce := p.Flags.Has(netsim.FlagCE)
+	if ce {
+		r.CEMarksSeen++
+	}
+	forceAck := false
+	if r.preciseCE {
+		// DCTCP: ACK immediately whenever the CE state flips so the
+		// sender sees an accurate marked-byte count.
+		if ce != r.ceState {
+			forceAck = true
+			r.ceState = ce
+		}
+		r.ecePend = ce
+	} else if ce {
+		r.eceLatch = true
+	}
+
+	start := p.Seq
+	end := p.Seq + uint64(p.DataLen)
+	if start < r.rcvNxt {
+		start = r.rcvNxt // partial overlap: only the new part matters
+	}
+	switch {
+	case end <= r.rcvNxt:
+		// Duplicate (a spurious retransmission): ACK immediately.
+		r.DupSegments++
+		r.sendAck(now)
+	case start == r.rcvNxt:
+		// In-order (possibly after clamping a partial overlap):
+		// advance, absorbing any buffered ranges.
+		old := r.rcvNxt
+		r.rcvNxt = r.ooo.popBelow(end)
+		delivered := int(r.rcvNxt - old)
+		r.TotalReceived += uint64(delivered)
+		if r.OnData != nil {
+			r.OnData(delivered)
+		}
+		r.unacked++
+		if forceAck || r.unacked >= r.cfg.DelAckSegs {
+			r.sendAck(now)
+		} else {
+			r.armDelAck(now)
+		}
+	default:
+		// Out of order: buffer, duplicate-ACK immediately.
+		r.ooo.add(start, end)
+		r.noteRecent(start)
+		if r.ooo.len() > r.OutOfOrderHigh {
+			r.OutOfOrderHigh = r.ooo.len()
+		}
+		r.sendAck(now)
+	}
+}
+
+// noteRecent records seq as belonging to the most recently updated range.
+func (r *Receiver) noteRecent(seq uint64) {
+	// Drop stale duplicates of the same position.
+	out := r.recent[:0]
+	out = append(out, seq)
+	for _, k := range r.recent {
+		if k != seq && len(out) < 8 {
+			out = append(out, k)
+		}
+	}
+	r.recent = out
+}
+
+// sackBlocks assembles up to max SACK blocks, most recently updated range
+// first (RFC 2018 §4).
+func (r *Receiver) sackBlocks(max int) []byteRange {
+	var out []byteRange
+	for _, k := range r.recent {
+		if k < r.rcvNxt {
+			continue
+		}
+		rg, ok := r.ooo.find(k)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, have := range out {
+			if have == rg {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, rg)
+		if len(out) == max {
+			return out
+		}
+	}
+	// Fill remaining slots with the lowest-first ranges.
+	for _, rg := range r.ooo.blocks(max) {
+		dup := false
+		for _, have := range out {
+			if have == rg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, rg)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (r *Receiver) armDelAck(echo sim.Time) {
+	if r.delack != nil {
+		return
+	}
+	r.delack = r.engine.After(r.cfg.DelAckTimeout, func() {
+		r.delack = nil
+		if r.unacked > 0 {
+			r.sendAck(echo)
+		}
+	})
+}
+
+func (r *Receiver) sendAck(echo sim.Time) {
+	if r.delack != nil {
+		r.delack.Cancel()
+		r.delack = nil
+	}
+	r.unacked = 0
+	ack := &netsim.Packet{
+		Flow:     r.flow,
+		Dst:      r.src,
+		Seq:      0,
+		Ack:      r.rcvNxt,
+		WireSize: HeaderBytes,
+		Flags:    netsim.FlagACK,
+		SentAt:   r.engine.Now(),
+		EchoTS:   echo,
+	}
+	for _, b := range r.sackBlocks(4) {
+		ack.SACK = append(ack.SACK, netsim.SACKBlock{Start: b.Start, End: b.End})
+	}
+	if len(r.lastINT) > 0 {
+		ack.INT = r.lastINT
+		r.lastINT = nil
+	}
+	if r.preciseCE {
+		if r.ecePend {
+			ack.Flags |= netsim.FlagECE
+		}
+	} else if r.eceLatch {
+		ack.Flags |= netsim.FlagECE
+		// Without CWR handling we clear the latch after one echo; the
+		// classic algorithms in this testbed do not depend on
+		// persistent ECE.
+		r.eceLatch = false
+	}
+	r.AcksSent++
+	r.account.SentAck()
+	r.host.Send(ack)
+}

@@ -1,0 +1,684 @@
+package tcp
+
+import (
+	"fmt"
+
+	"greenenvy/internal/cca"
+	"greenenvy/internal/energy"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/sim"
+)
+
+// retxWatchEntry remembers when a segment was retransmitted.
+type retxWatchEntry struct {
+	seq uint64
+	at  sim.Time
+}
+
+// segment tracks one transmitted data segment in the sender's window.
+type segment struct {
+	seq    uint64
+	length int
+	sacked bool
+	lost   bool
+	// counted reports whether this segment currently contributes to the
+	// pipe (in-flight) estimate.
+	counted bool
+	// jumpSeq accelerates SACK processing: for a sacked segment it points
+	// at (at least) the end of the known-sacked run it begins, so
+	// re-reported blocks skip over already-processed data.
+	jumpSeq uint64
+	retx    int
+	sentAt  sim.Time
+	// Delivery-rate estimator snapshot at (re)transmit time.
+	deliveredAtSend     uint64
+	deliveredTimeAtSend sim.Time
+	appLimited          bool
+}
+
+// Sender is a TCP bulk-data sender transferring a fixed number of bytes to
+// a Receiver across the simulated network.
+type Sender struct {
+	engine  *sim.Engine
+	host    *netsim.Host
+	flow    netsim.FlowID
+	dst     netsim.NodeID
+	cfg     Config
+	cc      cca.CongestionControl
+	account *energy.Account
+
+	mss        int
+	totalBytes uint64
+	sndUna     uint64
+	sndNxt     uint64
+	wantsINT   bool
+
+	// Window segments between sndUna and sndNxt. segs[0] starts at
+	// segBase; all segments are mss bytes except possibly the last.
+	segs    []segment
+	segBase uint64
+	pipe    int
+
+	// retxQueue holds sequence numbers of lost segments to retransmit,
+	// in order.
+	retxQueue []uint64
+	// retxWatch tracks outstanding retransmissions so that a lost
+	// retransmission is itself re-detected (RACK-style time threshold)
+	// instead of stalling until the RTO.
+	retxWatch []retxWatchEntry
+	// lossScan is the index below which loss inference has already run.
+	lossScan int
+	// highSacked is the highest sequence selectively acknowledged.
+	highSacked uint64
+
+	rtt           rttEstimator
+	delivered     uint64
+	deliveredTime sim.Time
+
+	recovery      bool
+	recoveryPoint uint64
+	// fastRetxPending marks that the first retransmission of the current
+	// recovery episode has not yet gone out; it bypasses the pipe limit,
+	// like a real stack's immediate fast retransmit.
+	fastRetxPending bool
+
+	rtoTimer   *sim.Event
+	rtoBackoff uint
+	tlpTimer   *sim.Event
+	tlpArmedAt uint64 // delivered count when the probe was armed
+
+	sendTimer  *sim.Event
+	nextSendAt sim.Time
+
+	started bool
+	done    bool
+
+	// Counters and results.
+	Retransmits  uint64
+	Timeouts     uint64
+	DataSent     uint64 // data packets sent, including retransmits
+	AcksReceived uint64
+	StartedAt    sim.Time
+	CompletedAt  sim.Time
+	// OnComplete fires once when every byte has been cumulatively
+	// acknowledged.
+	OnComplete func()
+}
+
+// NewSender creates a sender for a totalBytes transfer from host to the
+// receiver node dst over the given flow ID. The congestion controller is
+// owned by the sender; the energy account may be nil.
+func NewSender(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, dst netsim.NodeID, totalBytes uint64, cc cca.CongestionControl, cfg Config, account *energy.Account) *Sender {
+	if cfg.MTU <= HeaderBytes {
+		panic(fmt.Sprintf("tcp: MTU %d leaves no room for payload", cfg.MTU))
+	}
+	if totalBytes == 0 {
+		panic("tcp: zero-byte transfer")
+	}
+	s := &Sender{
+		engine:     engine,
+		host:       host,
+		flow:       flow,
+		dst:        dst,
+		cfg:        cfg,
+		cc:         cc,
+		account:    account,
+		mss:        cfg.MSS(),
+		totalBytes: totalBytes,
+	}
+	if ic, ok := cc.(cca.INTConsumer); ok && ic.NeedsINT() {
+		s.wantsINT = true
+	}
+	host.Attach(flow, netsim.HandlerFunc(s.handleAck))
+	return s
+}
+
+// Start begins the transfer at the current simulated time.
+func (s *Sender) Start() {
+	if s.started {
+		panic("tcp: sender started twice")
+	}
+	s.started = true
+	s.StartedAt = s.engine.Now()
+	s.deliveredTime = s.engine.Now()
+	s.cc.Init(s)
+	s.trySend()
+	s.armTLP()
+}
+
+// Done reports whether the transfer completed.
+func (s *Sender) Done() bool { return s.done }
+
+// FCT returns the flow completion time, valid once Done.
+func (s *Sender) FCT() sim.Duration { return s.CompletedAt - s.StartedAt }
+
+// Flow returns the sender's flow ID.
+func (s *Sender) Flow() netsim.FlowID { return s.flow }
+
+// CC exposes the congestion controller (for traces and tests).
+func (s *Sender) CC() cca.CongestionControl { return s.cc }
+
+// --- cca.Conn interface ---
+
+// Now implements cca.Conn.
+func (s *Sender) Now() sim.Time { return s.engine.Now() }
+
+// MSS implements cca.Conn.
+func (s *Sender) MSS() int { return s.mss }
+
+// SRTT implements cca.Conn.
+func (s *Sender) SRTT() sim.Duration { return s.rtt.srtt }
+
+// MinRTT implements cca.Conn.
+func (s *Sender) MinRTT() sim.Duration { return s.rtt.minRTT }
+
+// BytesInFlight implements cca.Conn.
+func (s *Sender) BytesInFlight() int { return s.pipe }
+
+// --- segment bookkeeping ---
+
+// segIndex maps a sequence number to its index in segs. Sequence numbers
+// must lie on segment boundaries (all segments are mss bytes except the
+// final short one, which is still mss-aligned at its start).
+func (s *Sender) segIndex(seq uint64) int {
+	return int((seq - s.segBase) / uint64(s.mss))
+}
+
+func (s *Sender) seg(seq uint64) *segment {
+	return &s.segs[s.segIndex(seq)]
+}
+
+// --- receive path ---
+
+func (s *Sender) handleAck(p *netsim.Packet) {
+	if s.done || !p.Flags.Has(netsim.FlagACK) {
+		return
+	}
+	s.AcksReceived++
+	s.account.ReceivedAck()
+	now := s.engine.Now()
+
+	prevDelivered := s.delivered
+	var newestAcked *segment
+
+	// Cumulative acknowledgment.
+	if p.Ack > s.sndUna {
+		for len(s.segs) > 0 {
+			sg := &s.segs[0]
+			end := sg.seq + uint64(sg.length)
+			if end > p.Ack {
+				break
+			}
+			if sg.counted {
+				s.pipe -= sg.length
+				sg.counted = false
+			}
+			if !sg.sacked {
+				s.delivered += uint64(sg.length)
+				s.deliveredTime = now
+				if sg.retx == 0 {
+					s.rtt.sample(now - sg.sentAt)
+				}
+			}
+			newestAcked = s.snapshotOf(sg)
+			s.segBase = end
+			s.segs = s.segs[1:]
+			if s.lossScan > 0 {
+				s.lossScan--
+			}
+		}
+		s.sndUna = p.Ack
+		s.rtoBackoff = 0
+		s.armRTO() // restart on forward progress (RFC 6298)
+		if len(s.segs) == 0 {
+			s.segs = nil
+		}
+	}
+
+	// Selective acknowledgments.
+	for _, blk := range p.SACK {
+		s.markSacked(blk.Start, blk.End, now, &newestAcked)
+	}
+
+	// Loss inference: data SACKed ReorderSegs segments above an unsacked
+	// segment implies that segment is lost.
+	s.inferLoss()
+	s.expireRetransmissions(now)
+
+	// Build the congestion-control event.
+	info := cca.AckInfo{
+		AckedBytes: int(s.delivered - prevDelivered),
+		ECE:        p.Flags.Has(netsim.FlagECE),
+		Delivered:  s.delivered,
+		InRecovery: s.recovery,
+		INT:        p.INT,
+	}
+	if newestAcked != nil {
+		interval := now - newestAcked.deliveredTimeAtSend
+		if interval > 0 {
+			info.DeliveryRate = float64(s.delivered-newestAcked.deliveredAtSend) / interval.Seconds()
+		}
+		info.AppLimited = newestAcked.appLimited
+		if newestAcked.retx == 0 {
+			info.RTT = now - newestAcked.sentAt
+		}
+	}
+	if info.RTT == 0 {
+		info.RTT = s.rtt.srtt
+	}
+
+	if info.AckedBytes > 0 {
+		s.cc.OnAck(s, info)
+	}
+
+	// Recovery exit.
+	if s.recovery && s.sndUna >= s.recoveryPoint {
+		s.recovery = false
+	}
+
+	// Completion.
+	if s.sndUna >= s.totalBytes {
+		s.complete(now)
+		return
+	}
+
+	s.trySend()
+	s.armTLP()
+}
+
+// snapshotOf returns a stable copy of a segment for rate sampling (the
+// underlying slice entry may be popped).
+func (s *Sender) snapshotOf(sg *segment) *segment {
+	cp := *sg
+	return &cp
+}
+
+func (s *Sender) markSacked(start, end uint64, now sim.Time, newest **segment) {
+	if start < s.segBase {
+		start = s.segBase
+	}
+	if start >= end {
+		return
+	}
+	firstIdx := -1
+	for seq := start; seq < end && seq < s.sndNxt; {
+		idx := s.segIndex(seq)
+		if idx < 0 || idx >= len(s.segs) {
+			break
+		}
+		sg := &s.segs[idx]
+		if firstIdx == -1 {
+			firstIdx = idx
+		}
+		if sg.sacked {
+			// Skip the known-sacked run.
+			next := sg.seq + uint64(sg.length)
+			if sg.jumpSeq > next {
+				next = sg.jumpSeq
+			}
+			seq = next
+			continue
+		}
+		sg.sacked = true
+		sg.jumpSeq = sg.seq + uint64(sg.length)
+		if sg.counted {
+			s.pipe -= sg.length
+			sg.counted = false
+		}
+		s.delivered += uint64(sg.length)
+		s.deliveredTime = now
+		if sg.seq+uint64(sg.length) > s.highSacked {
+			s.highSacked = sg.seq + uint64(sg.length)
+		}
+		*newest = s.snapshotOf(sg)
+		seq = sg.jumpSeq
+	}
+	// Path-compress: the block's first segment points at the furthest
+	// sacked position we reached, so re-reports of this block are O(1).
+	if firstIdx >= 0 && firstIdx < len(s.segs) && s.segs[firstIdx].sacked {
+		limit := end
+		if limit > s.sndNxt {
+			limit = s.sndNxt
+		}
+		if limit > s.segs[firstIdx].jumpSeq {
+			s.segs[firstIdx].jumpSeq = limit
+		}
+	}
+}
+
+// inferLoss marks unsacked segments well below the SACK frontier as lost
+// and queues them for retransmission.
+func (s *Sender) inferLoss() {
+	if s.highSacked <= s.segBase {
+		return
+	}
+	threshold := uint64(s.cfg.ReorderSegs * s.mss)
+	if s.highSacked < s.segBase+threshold {
+		return
+	}
+	limit := s.highSacked - threshold
+	for ; s.lossScan < len(s.segs); s.lossScan++ {
+		sg := &s.segs[s.lossScan]
+		if sg.seq >= limit {
+			break
+		}
+		if sg.sacked || sg.lost {
+			continue
+		}
+		sg.lost = true
+		if sg.counted {
+			s.pipe -= sg.length
+			sg.counted = false
+		}
+		s.retxQueue = append(s.retxQueue, sg.seq)
+		s.noteCongestion(sg.seq)
+	}
+}
+
+// noteCongestion reacts to a newly detected loss. Losing data sent after
+// the current recovery point is a fresh congestion event and triggers
+// another window reduction (RFC 6582's recovery-point rule).
+func (s *Sender) noteCongestion(seq uint64) {
+	if s.recovery && seq < s.recoveryPoint {
+		return
+	}
+	s.recovery = true
+	s.recoveryPoint = s.sndNxt
+	s.fastRetxPending = true
+	s.cc.OnLoss(s)
+}
+
+// expireRetransmissions re-marks as lost any retransmission that has been
+// outstanding for well over an RTT without being SACKed — the
+// retransmission itself was dropped. Without this, a lost retransmission
+// stalls the connection until the RTO.
+func (s *Sender) expireRetransmissions(now sim.Time) {
+	reo := s.rtt.srtt + s.rtt.srtt/2
+	if reo < 100*sim.Microsecond {
+		reo = 100 * sim.Microsecond
+	}
+	for len(s.retxWatch) > 0 && now-s.retxWatch[0].at > reo {
+		w := s.retxWatch[0]
+		s.retxWatch = s.retxWatch[1:]
+		if w.seq < s.segBase {
+			continue // already cumulatively acked
+		}
+		sg := s.seg(w.seq)
+		if sg.sacked || sg.lost || sg.retx == 0 {
+			continue
+		}
+		if now-sg.sentAt <= reo {
+			continue // retransmitted again more recently
+		}
+		sg.lost = true
+		if sg.counted {
+			s.pipe -= sg.length
+			sg.counted = false
+		}
+		s.retxQueue = append(s.retxQueue, sg.seq)
+		s.noteCongestion(sg.seq)
+	}
+}
+
+// --- transmit path ---
+
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	now := s.engine.Now()
+	for {
+		if s.nextSendAt > now {
+			s.armSendTimer()
+			return
+		}
+		if !s.sendOne(now) {
+			return
+		}
+	}
+}
+
+// sendOne transmits at most one segment (retransmission first). It returns
+// false when nothing can be sent.
+func (s *Sender) sendOne(now sim.Time) bool {
+	cwnd := int(s.cc.CWnd())
+
+	// Retransmissions take priority and obey the pipe limit.
+	for len(s.retxQueue) > 0 {
+		seq := s.retxQueue[0]
+		if seq < s.segBase { // already cumulatively acked
+			s.retxQueue = s.retxQueue[1:]
+			continue
+		}
+		sg := s.seg(seq)
+		if sg.sacked || !sg.lost {
+			s.retxQueue = s.retxQueue[1:]
+			continue
+		}
+		if s.pipe+sg.length > cwnd && !s.fastRetxPending {
+			return false
+		}
+		s.fastRetxPending = false
+		s.retxQueue = s.retxQueue[1:]
+		sg.lost = false
+		sg.retx++
+		s.transmit(sg, now, true)
+		return true
+	}
+
+	// New data.
+	if s.sndNxt >= s.totalBytes {
+		return false
+	}
+	length := s.mss
+	if remaining := s.totalBytes - s.sndNxt; remaining < uint64(length) {
+		length = int(remaining)
+	}
+	if s.pipe+length > cwnd {
+		return false
+	}
+	if len(s.segs) == 0 {
+		s.segBase = s.sndNxt
+		s.lossScan = 0
+	}
+	s.segs = append(s.segs, segment{seq: s.sndNxt, length: length})
+	sg := &s.segs[len(s.segs)-1]
+	s.sndNxt += uint64(length)
+	s.transmit(sg, now, false)
+	return true
+}
+
+// transmit puts one segment on the wire and advances the send clock.
+func (s *Sender) transmit(sg *segment, now sim.Time, retx bool) {
+	sg.sentAt = now
+	sg.counted = true
+	sg.deliveredAtSend = s.delivered
+	sg.deliveredTimeAtSend = s.deliveredTime
+	sg.appLimited = s.cfg.RateLimitBps > 0
+	s.pipe += sg.length
+
+	wire := sg.length + HeaderBytes
+	p := &netsim.Packet{
+		Flow:       s.flow,
+		Dst:        s.dst,
+		Seq:        sg.seq,
+		DataLen:    sg.length,
+		WireSize:   wire,
+		SentAt:     now,
+		Retransmit: retx,
+	}
+	if s.cc.ECNCapable() {
+		p.Flags |= netsim.FlagECT
+	}
+	if s.wantsINT {
+		p.Flags |= netsim.FlagINT
+	}
+	s.DataSent++
+	if retx {
+		s.Retransmits++
+		s.retxWatch = append(s.retxWatch, retxWatchEntry{seq: sg.seq, at: now})
+	}
+	s.account.SentData(retx, int(s.sndNxt-s.sndUna))
+	s.host.Send(p)
+	if s.rtoTimer == nil {
+		s.armRTO()
+	}
+
+	// Serialized transmit-path cost, NIC backpressure, and pacing
+	// determine the earliest next transmission.
+	gap := s.cfg.TxPathCost
+	if s.cfg.NICRateBps > 0 {
+		ng := sim.Duration(int64(wire*8) * int64(sim.Second) / s.cfg.NICRateBps)
+		if ng > gap {
+			gap = ng
+		}
+	}
+	if rate := s.cc.PacingRate(); rate > 0 {
+		pg := sim.Duration(float64(wire*8) / rate * float64(sim.Second))
+		if pg > gap {
+			gap = pg
+		}
+	}
+	if s.cfg.RateLimitBps > 0 {
+		rg := sim.Duration(int64(wire*8) * int64(sim.Second) / s.cfg.RateLimitBps)
+		if rg > gap {
+			gap = rg
+		}
+	}
+	s.nextSendAt = now + gap
+}
+
+func (s *Sender) armSendTimer() {
+	if s.sendTimer != nil {
+		return
+	}
+	s.sendTimer = s.engine.At(s.nextSendAt, func() {
+		s.sendTimer = nil
+		s.trySend()
+	})
+}
+
+// --- timers ---
+
+// armTLP schedules a tail loss probe (RFC 8985 §7, simplified): when the
+// flow is in a "tail" situation — no new data left, or too little in
+// flight to generate three duplicate ACKs — a dropped segment would
+// otherwise stall until the (10 ms floor) RTO. The probe retransmits the
+// highest outstanding segment after ~2·SRTT, which elicits the SACK
+// feedback normal recovery needs.
+func (s *Sender) armTLP() {
+	if s.tlpTimer != nil {
+		s.tlpTimer.Cancel()
+		s.tlpTimer = nil
+	}
+	if s.done || s.pipe == 0 || len(s.retxQueue) > 0 {
+		return
+	}
+	if s.sndNxt < s.totalBytes && s.pipe >= 4*s.mss {
+		return // enough in flight for dupACK-based detection
+	}
+	pto := 2 * s.rtt.srtt
+	if pto < sim.Millisecond {
+		pto = sim.Millisecond
+	}
+	if s.rtt.srtt == 0 {
+		pto = 5 * sim.Millisecond
+	}
+	s.tlpArmedAt = s.delivered
+	s.tlpTimer = s.engine.After(pto, s.onTLP)
+}
+
+func (s *Sender) onTLP() {
+	s.tlpTimer = nil
+	if s.done || s.pipe == 0 || s.delivered != s.tlpArmedAt {
+		return // progress happened; no probe needed
+	}
+	// Probe with the highest outstanding unsacked segment.
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		sg := &s.segs[i]
+		if sg.sacked || sg.lost {
+			continue
+		}
+		if sg.counted {
+			s.pipe -= sg.length
+			sg.counted = false
+		}
+		sg.retx++
+		s.transmit(sg, s.engine.Now(), true)
+		break
+	}
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if s.pipe == 0 && len(s.retxQueue) == 0 && s.sndUna >= s.totalBytes {
+		return
+	}
+	// Clamp to the floor first, then apply exponential backoff, so each
+	// backoff step doubles the previous effective timeout.
+	d := s.rtt.rto()
+	if d < s.cfg.MinRTO {
+		d = s.cfg.MinRTO
+	}
+	d <<= s.rtoBackoff
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rtoTimer = s.engine.After(d, s.onRTO)
+}
+
+func (s *Sender) onRTO() {
+	s.rtoTimer = nil
+	if s.done {
+		return
+	}
+	s.Timeouts++
+	if s.rtoBackoff < 16 {
+		s.rtoBackoff++
+	}
+	// Everything unsacked and outstanding is presumed lost.
+	s.retxQueue = s.retxQueue[:0]
+	s.lossScan = 0
+	for i := range s.segs {
+		sg := &s.segs[i]
+		if sg.sacked {
+			continue
+		}
+		sg.lost = true
+		if sg.counted {
+			s.pipe -= sg.length
+			sg.counted = false
+		}
+		s.retxQueue = append(s.retxQueue, sg.seq)
+	}
+	s.recovery = true
+	s.recoveryPoint = s.sndNxt
+	s.cc.OnRTO(s)
+	s.nextSendAt = 0 // timeout overrides pacing
+	s.armRTO()
+	s.trySend()
+}
+
+func (s *Sender) complete(now sim.Time) {
+	s.done = true
+	s.CompletedAt = now
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if s.sendTimer != nil {
+		s.sendTimer.Cancel()
+		s.sendTimer = nil
+	}
+	if s.tlpTimer != nil {
+		s.tlpTimer.Cancel()
+		s.tlpTimer = nil
+	}
+	s.host.Detach(s.flow)
+	if s.OnComplete != nil {
+		s.OnComplete()
+	}
+}

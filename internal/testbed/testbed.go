@@ -1,0 +1,324 @@
+// Package testbed assembles the paper's §3 laboratory out of the simulator
+// substrates: sender servers and a receiver server (2× Xeon E5-2630 v3
+// class, modeled by internal/energy), an Intel-Tofino-class switch with a
+// 10 Gb/s bottleneck port, bonded 2×10 Gb/s sender uplinks, iperf3-style
+// traffic generation, `stress` background load, and RAPL energy
+// measurement bracketing each run.
+//
+// One Testbed is one experiment run. The paper repeats each scenario ten
+// times and reports standard deviations; Repeat drives that loop with a
+// per-repetition seed that perturbs start times and measurement noise the
+// way a physical lab run would.
+package testbed
+
+import (
+	"fmt"
+
+	"greenenvy/internal/energy"
+	"greenenvy/internal/iperf"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/rapl"
+	"greenenvy/internal/sim"
+	"greenenvy/internal/stress"
+)
+
+// Options configures a testbed instance.
+type Options struct {
+	// Senders is the number of sender servers (one flow per server in
+	// the Theorem 1 experiments; the paper's arithmetic in §4.1 treats
+	// each flow as its own sender).
+	Senders int
+	// Model is the host energy model; zero value uses the calibrated
+	// defaults.
+	Model energy.Model
+	// BufferBytes is the bottleneck buffer (default 1 MiB).
+	BufferBytes int
+	// MarkBytes enables DCTCP-style CE marking at the bottleneck.
+	MarkBytes int
+	// UseDRR replaces the bottleneck FIFO with a weighted-fair DRR
+	// scheduler (for the Figure 1 allocation sweep).
+	UseDRR bool
+	// Seed drives all run randomness (start jitter, measurement noise).
+	Seed uint64
+	// StartJitter is the maximum random offset added to each client's
+	// start (default 10 µs; models process scheduling skew).
+	StartJitter sim.Duration
+	// MeasureNoise is the relative σ of RAPL measurement noise (default
+	// 0.4%, matching the run-to-run spread of package-energy readings).
+	MeasureNoise float64
+	// SyncEvery is the energy integration granularity (default 1 ms).
+	SyncEvery sim.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Senders == 0 {
+		o.Senders = 1
+	}
+	if o.Model.Costs.Cores == 0 {
+		o.Model = energy.DefaultModel()
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 1 << 20
+	}
+	if o.StartJitter == 0 {
+		o.StartJitter = 10 * sim.Microsecond
+	}
+	if o.MeasureNoise == 0 {
+		o.MeasureNoise = 0.004
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = sim.Millisecond
+	}
+	return o
+}
+
+// Testbed is one assembled experiment environment.
+type Testbed struct {
+	Engine   *sim.Engine
+	Net      *netsim.Dumbbell
+	Model    energy.Model
+	Meters   []*energy.Meter // index i = sender i; last = receiver
+	Sensors  []*rapl.Sensor
+	Monitor  *netsim.ThroughputMonitor
+	opts     Options
+	rng      *sim.RNG
+	clients  []*iperf.Client
+	loads    []*stress.Load
+	measures []*rapl.Measurement
+	ran      bool
+}
+
+// New builds a testbed.
+func New(opts Options) *Testbed {
+	opts = opts.withDefaults()
+	engine := sim.NewEngine()
+	dcfg := netsim.DefaultDumbbell(opts.Senders)
+	dcfg.BufferBytes = opts.BufferBytes
+	dcfg.MarkBytes = opts.MarkBytes
+	if opts.UseDRR {
+		dcfg.BottleneckQueue = netsim.NewDRR(opts.BufferBytes, opts.MarkBytes)
+	}
+	d := netsim.NewDumbbell(engine, dcfg)
+
+	tb := &Testbed{
+		Engine: engine,
+		Net:    d,
+		Model:  opts.Model,
+		opts:   opts,
+		rng:    sim.NewRNG(opts.Seed),
+	}
+	for range d.Senders {
+		m := energy.NewMeter(engine, opts.Model.Curve, opts.Model.Costs)
+		tb.Meters = append(tb.Meters, m)
+		tb.Sensors = append(tb.Sensors, rapl.NewSensor(m))
+	}
+	recvMeter := energy.NewMeter(engine, opts.Model.Curve, opts.Model.Costs)
+	tb.Meters = append(tb.Meters, recvMeter)
+	tb.Sensors = append(tb.Sensors, rapl.NewSensor(recvMeter))
+
+	tb.Monitor = netsim.NewThroughputMonitor(engine, 10*sim.Millisecond)
+	return tb
+}
+
+// SenderMeter returns the energy meter of sender i.
+func (tb *Testbed) SenderMeter(i int) *energy.Meter { return tb.Meters[i] }
+
+// ReceiverMeter returns the receiver host's meter.
+func (tb *Testbed) ReceiverMeter() *energy.Meter { return tb.Meters[len(tb.Meters)-1] }
+
+// AddFlow installs an iperf client on sender host `sender` targeting the
+// receiver. The flow's TxPathCost is taken from the energy cost model
+// unless the spec overrides it. Start jitter is applied on top of
+// spec.StartAt.
+func (tb *Testbed) AddFlow(sender int, spec iperf.Spec) (*iperf.Client, error) {
+	if sender < 0 || sender >= len(tb.Net.Senders) {
+		return nil, fmt.Errorf("testbed: sender %d out of range", sender)
+	}
+	if spec.Flow == 0 {
+		spec.Flow = netsim.FlowID(len(tb.clients) + 1)
+	}
+	if spec.Config.TxPathCost == 0 {
+		spec.Config.TxPathCost = tb.Model.Costs.TxPathCost
+	}
+	if spec.Config.NICRateBps == 0 {
+		// Match the topology: each sender has 2×10 Gb/s bonded uplinks.
+		spec.Config.NICRateBps = 20_000_000_000
+	}
+	spec.StartAt += tb.rng.Jitter(tb.opts.StartJitter)
+
+	srcAcct := energy.NewAccount(tb.Meters[sender], spec.CCA)
+	dstAcct := energy.NewAccount(tb.ReceiverMeter(), spec.CCA)
+	c, err := iperf.NewClient(tb.Engine, spec, tb.Net.Senders[sender], tb.Net.Receiver, srcAcct, dstAcct)
+	if err != nil {
+		return nil, err
+	}
+	flow := spec.Flow
+	c.Receiver().OnData = func(n int) { tb.Monitor.Observe(flow, n) }
+	tb.clients = append(tb.clients, c)
+	return c, nil
+}
+
+// AddLoad starts stress background load (fraction of all cores) on sender
+// host i for the whole run.
+func (tb *Testbed) AddLoad(sender int, frac float64) error {
+	l, err := stress.StartFraction(tb.Meters[sender], frac)
+	if err != nil {
+		return err
+	}
+	tb.loads = append(tb.loads, l)
+	return nil
+}
+
+// SetWeight configures the bottleneck DRR weight for a flow; it errors if
+// the testbed was not built with UseDRR.
+func (tb *Testbed) SetWeight(flow netsim.FlowID, w float64) error {
+	q := tb.Net.BottleneckDRR()
+	if q == nil {
+		return fmt.Errorf("testbed: bottleneck is not a DRR scheduler")
+	}
+	q.SetWeight(flow, w)
+	return nil
+}
+
+// RunResult is the paper-facing outcome of one run.
+type RunResult struct {
+	// Reports holds one iperf summary per flow, in AddFlow order.
+	Reports []iperf.Report
+	// SenderEnergyJ is RAPL-measured joules per sender host over the
+	// measurement window (experiment start to last flow completion).
+	SenderEnergyJ []float64
+	// ReceiverEnergyJ is the receiver host's energy over the window.
+	ReceiverEnergyJ float64
+	// TotalSenderJ is the sum over senders — the quantity the paper's
+	// §4.1 arithmetic compares.
+	TotalSenderJ float64
+	// Duration is experiment start to last completion.
+	Duration sim.Duration
+	// AvgSenderPowerW is TotalSenderJ / Duration (Figure 6's metric).
+	AvgSenderPowerW float64
+	// Retransmits sums retransmissions over all flows (Figure 8's
+	// x-axis).
+	Retransmits uint64
+	// BottleneckStats snapshots the shared queue's counters.
+	BottleneckStats netsim.QueueStats
+}
+
+// Run starts all flows, samples energy every SyncEvery until every flow
+// completes (or the deadline passes), and returns the bracketed
+// measurements. It errors if any flow failed to finish before the
+// deadline.
+func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
+	if tb.ran {
+		return RunResult{}, fmt.Errorf("testbed: Run called twice; build a fresh testbed per run")
+	}
+	tb.ran = true
+	if len(tb.clients) == 0 {
+		return RunResult{}, fmt.Errorf("testbed: no flows added")
+	}
+
+	// Bracket the measurement exactly as the paper does: read every
+	// host's energy counter before the experiment...
+	for _, s := range tb.Sensors {
+		tb.measures = append(tb.measures, s.Begin())
+	}
+	tb.Monitor.Start()
+	for _, c := range tb.clients {
+		c.Start()
+	}
+
+	// ... and after it — at the instant the last flow completes, exactly
+	// as the paper's scripts bracket each iperf3 run.
+	var done sim.Time
+	finished := false
+	nSenders := len(tb.Meters) - 1
+	var senderJ []float64
+	var recvJ float64
+	noise := func() float64 { return 1 + tb.rng.Normal(0, tb.opts.MeasureNoise) }
+	collect := func() {
+		finished = true
+		done = tb.Engine.Now()
+		tb.Monitor.Stop()
+		for i := 0; i < nSenders; i++ {
+			senderJ = append(senderJ, tb.measures[i].EndPackage()*noise())
+		}
+		recvJ = tb.measures[nSenders].EndPackage() * noise()
+	}
+	// Collect at the exact completion instant: the sampler alone would
+	// quantize the measurement window to SyncEvery.
+	for _, c := range tb.clients {
+		c.OnDone(func() {
+			if !finished && tb.allDone() {
+				for _, m := range tb.Meters {
+					m.Sync()
+				}
+				collect()
+			}
+		})
+	}
+	var sample func()
+	sample = func() {
+		if finished {
+			return
+		}
+		for _, m := range tb.Meters {
+			m.Sync()
+		}
+		if tb.Engine.Now() < sim.Time(deadline) {
+			tb.Engine.After(tb.opts.SyncEvery, sample)
+		}
+	}
+	tb.Engine.After(tb.opts.SyncEvery, sample)
+	tb.Engine.RunUntil(sim.Time(deadline))
+
+	if !finished {
+		if tb.allDone() {
+			// Flows finished between the last sample and the deadline.
+			collect()
+		} else {
+			return RunResult{}, fmt.Errorf("testbed: flows incomplete at deadline %v", deadline)
+		}
+	}
+
+	res := RunResult{Duration: done}
+	for _, c := range tb.clients {
+		res.Reports = append(res.Reports, c.Report())
+		res.Retransmits += c.Sender().Retransmits
+	}
+	res.SenderEnergyJ = senderJ
+	for _, j := range senderJ {
+		res.TotalSenderJ += j
+	}
+	res.ReceiverEnergyJ = recvJ
+	if s := res.Duration.Seconds(); s > 0 {
+		res.AvgSenderPowerW = res.TotalSenderJ / s
+	}
+	res.BottleneckStats = tb.Net.Bottleneck.Queue().Stats()
+	return res, nil
+}
+
+func (tb *Testbed) allDone() bool {
+	for _, c := range tb.clients {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Repeat runs build-and-run n times with per-repetition seeds derived from
+// baseSeed and returns all results. The build function receives the
+// repetition index and its seed and must construct, populate, and run a
+// fresh testbed.
+func Repeat(n int, baseSeed uint64, run func(rep int, seed uint64) (RunResult, error)) ([]RunResult, error) {
+	root := sim.NewRNG(baseSeed)
+	out := make([]RunResult, 0, n)
+	for i := 0; i < n; i++ {
+		seed := root.Split(uint64(i)).Uint64()
+		r, err := run(i, seed)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"greenenvy/internal/iperf"
+	"greenenvy/internal/sim"
+)
+
+const gbit = 1_000_000_000 / 8 // bytes per Gbit
+
+func TestSingleFlowRun(t *testing.T) {
+	tb := New(Options{Seed: 1})
+	_, err := tb.AddFlow(0, iperf.Spec{Bytes: 10 * gbit, CCA: "cubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(30 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].Bytes != 10*gbit {
+		t.Fatalf("report = %+v", res.Reports[0])
+	}
+	// 10 Gbit at ~10 Gb/s ≈ 1 s (plus header overhead ~0.7%).
+	if res.Duration < 900*sim.Millisecond || res.Duration > 1300*sim.Millisecond {
+		t.Fatalf("duration = %v, want ~1s", res.Duration)
+	}
+	// Sender energy ≈ p(10G) × 1s ≈ 36 J.
+	if res.TotalSenderJ < 30 || res.TotalSenderJ > 45 {
+		t.Fatalf("sender energy = %v J, want ~36", res.TotalSenderJ)
+	}
+	if res.AvgSenderPowerW < 30 || res.AvgSenderPowerW > 40 {
+		t.Fatalf("avg power = %v W, want ~36", res.AvgSenderPowerW)
+	}
+}
+
+func TestFairShareEnergyMatchesPaperArithmetic(t *testing.T) {
+	// The fair scenario of §4.1: two flows, 10 Gbit each, at 5 Gb/s each
+	// via WFQ; both finish ~2 s; total sender energy ~137 J.
+	tb := New(Options{Senders: 2, UseDRR: true, Seed: 2})
+	for i := 0; i < 2; i++ {
+		c, err := tb.AddFlow(i, iperf.Spec{Bytes: 10 * gbit, CCA: "cubic"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.SetWeight(c.Report().Flow, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tb.Run(30 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 1900*sim.Millisecond || res.Duration > 2500*sim.Millisecond {
+		t.Fatalf("duration = %v, want ~2s", res.Duration)
+	}
+	if math.Abs(res.TotalSenderJ-137) > 12 {
+		t.Fatalf("fair energy = %.1f J, want ~137 (paper §4.1)", res.TotalSenderJ)
+	}
+}
+
+func TestSerialScheduleSavesEnergy(t *testing.T) {
+	// "Full speed, then idle": flow 2 starts when flow 1 finishes. Total
+	// sender energy ~114.6 J, ≈16% below fair (paper §4.1).
+	run := func() RunResult {
+		tb := New(Options{Senders: 2, Seed: 3})
+		if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 10 * gbit, CCA: "cubic"}); err != nil {
+			t.Fatal(err)
+		}
+		// Start the second flow after the first completes (~1.01 s at
+		// line rate with header overhead).
+		if _, err := tb.AddFlow(1, iperf.Spec{Bytes: 10 * gbit, CCA: "cubic", StartAt: 1020 * sim.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.Run(30 * sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if math.Abs(res.TotalSenderJ-114.6) > 10 {
+		t.Fatalf("serial energy = %.1f J, want ~114.6", res.TotalSenderJ)
+	}
+}
+
+func TestLoadedHostRaisesPower(t *testing.T) {
+	tb := New(Options{Seed: 4})
+	if err := tb.AddLoad(0, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 5 * gbit, CCA: "cubic"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(30 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderW := res.SenderEnergyJ[0] / res.Duration.Seconds()
+	if senderW < 100 || senderW > 120 {
+		t.Fatalf("loaded sender power = %.1f W, want ~108 (Fig 4)", senderW)
+	}
+}
+
+func TestRateLimitedFlowPower(t *testing.T) {
+	// iperf -b 5G on one sender: power should land on the paper's
+	// 34.23 W anchor.
+	tb := New(Options{Seed: 5})
+	if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 5 * gbit, CCA: "cubic", TargetBps: 5_000_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(30 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.SenderEnergyJ[0] / res.Duration.Seconds()
+	if math.Abs(w-34.23) > 1.5 {
+		t.Fatalf("5 Gb/s power = %.2f W, want ~34.23 (Fig 2)", w)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	tb := New(Options{Seed: 6})
+	if _, err := tb.AddFlow(0, iperf.Spec{Bytes: gbit, CCA: "reno"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(10 * sim.Second); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func TestRunWithoutFlowsErrors(t *testing.T) {
+	tb := New(Options{Seed: 7})
+	if _, err := tb.Run(sim.Second); err == nil {
+		t.Fatal("Run with no flows should error")
+	}
+}
+
+func TestDeadlineExceededErrors(t *testing.T) {
+	tb := New(Options{Seed: 8})
+	if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 100 * gbit, CCA: "cubic"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(100 * sim.Millisecond); err == nil {
+		t.Fatal("want deadline error")
+	}
+}
+
+func TestInvalidSenderIndex(t *testing.T) {
+	tb := New(Options{Seed: 9})
+	if _, err := tb.AddFlow(5, iperf.Spec{Bytes: gbit, CCA: "cubic"}); err == nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+}
+
+func TestSetWeightWithoutDRR(t *testing.T) {
+	tb := New(Options{Seed: 10})
+	if err := tb.SetWeight(1, 0.5); err == nil {
+		t.Fatal("SetWeight on FIFO bottleneck should error")
+	}
+}
+
+func TestRepetitionsVaryButCluster(t *testing.T) {
+	results, err := Repeat(3, 42, func(rep int, seed uint64) (RunResult, error) {
+		tb := New(Options{Seed: seed})
+		if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 2 * gbit, CCA: "cubic"}); err != nil {
+			return RunResult{}, err
+		}
+		return tb.Run(10 * sim.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := results[0].TotalSenderJ
+	varied := false
+	for _, r := range results[1:] {
+		if r.TotalSenderJ != e0 {
+			varied = true
+		}
+		if math.Abs(r.TotalSenderJ-e0)/e0 > 0.05 {
+			t.Fatalf("repetition spread too wide: %v vs %v", r.TotalSenderJ, e0)
+		}
+	}
+	if !varied {
+		t.Fatal("repetitions identical; measurement noise not applied")
+	}
+}
+
+func TestThroughputMonitorSeriesPopulated(t *testing.T) {
+	tb := New(Options{Seed: 11})
+	c, err := tb.AddFlow(0, iperf.Spec{Bytes: 5 * gbit, CCA: "cubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	series := tb.Monitor.Series(c.Report().Flow)
+	if len(series) < 10 {
+		t.Fatalf("only %d throughput samples", len(series))
+	}
+	// Mid-transfer samples should be near line rate.
+	mid := series[len(series)/2]
+	if mid.Bps < 8e9 {
+		t.Fatalf("mid-transfer sample = %.2f Gb/s, want near 10", mid.Bps/1e9)
+	}
+}

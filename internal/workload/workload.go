@@ -1,0 +1,172 @@
+// Package workload generates datacenter traffic for the testbed: flow
+// sizes drawn from the empirical distributions the datacenter-transport
+// literature standardizes on (the DCTCP paper's web-search workload and
+// VL2's data-mining workload), with Poisson arrivals targeting a chosen
+// offered load. The paper's §5 calls for evaluating the energy results
+// "with the sorts of workloads used in production data centers"; this
+// package provides them.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenenvy/internal/sim"
+)
+
+// SizeDist samples flow sizes in bytes.
+type SizeDist interface {
+	// Sample draws one flow size.
+	Sample(rng *sim.RNG) uint64
+	// Mean returns the distribution's mean flow size.
+	Mean() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Fixed is a degenerate distribution: every flow has the same size.
+type Fixed uint64
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*sim.RNG) uint64 { return uint64(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%d", uint64(f)) }
+
+// CDF is an empirical distribution given as (size, cumulative probability)
+// knots; sampling inverts it with log-linear interpolation between knots
+// (flow sizes span orders of magnitude).
+type CDF struct {
+	name  string
+	sizes []float64 // bytes, ascending
+	probs []float64 // cumulative, ascending, ending at 1
+}
+
+// NewCDF builds an empirical CDF. Knots must be ascending in both
+// coordinates with the last probability equal to 1.
+func NewCDF(name string, sizes, probs []float64) (CDF, error) {
+	if len(sizes) != len(probs) || len(sizes) < 2 {
+		return CDF{}, fmt.Errorf("workload: need matching knot slices with ≥2 points")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] || probs[i] < probs[i-1] {
+			return CDF{}, fmt.Errorf("workload: knots must ascend")
+		}
+	}
+	if probs[len(probs)-1] != 1 {
+		return CDF{}, fmt.Errorf("workload: CDF must end at probability 1")
+	}
+	return CDF{name: name, sizes: sizes, probs: probs}, nil
+}
+
+// Sample implements SizeDist by inverse-transform sampling.
+func (c CDF) Sample(rng *sim.RNG) uint64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(c.probs, u)
+	if i == 0 {
+		return uint64(c.sizes[0])
+	}
+	if i >= len(c.probs) {
+		return uint64(c.sizes[len(c.sizes)-1])
+	}
+	// Log-linear interpolation between knots.
+	p0, p1 := c.probs[i-1], c.probs[i]
+	frac := 0.5
+	if p1 > p0 {
+		frac = (u - p0) / (p1 - p0)
+	}
+	ls := math.Log(c.sizes[i-1]) + frac*(math.Log(c.sizes[i])-math.Log(c.sizes[i-1]))
+	return uint64(math.Exp(ls))
+}
+
+// Mean implements SizeDist (numerically, from the knots).
+func (c CDF) Mean() float64 {
+	mean := 0.0
+	for i := 1; i < len(c.sizes); i++ {
+		// Geometric midpoint of the interval, weighted by its mass.
+		mid := math.Sqrt(c.sizes[i-1] * c.sizes[i])
+		mean += mid * (c.probs[i] - c.probs[i-1])
+	}
+	mean += c.sizes[0] * c.probs[0]
+	return mean
+}
+
+// Name implements SizeDist.
+func (c CDF) Name() string { return c.name }
+
+// WebSearch is the flow-size distribution of the DCTCP paper's web-search
+// cluster (Alizadeh et al. 2010, Fig 4): mostly small query/control flows
+// with a heavy tail of multi-MB background transfers.
+func WebSearch() CDF {
+	c, err := NewCDF("websearch",
+		[]float64{6e3, 13e3, 19e3, 33e3, 53e3, 133e3, 667e3, 1.33e6, 4e6, 13.3e6, 20e6, 30e6},
+		[]float64{0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 0.99, 1.0},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DataMining is the flow-size distribution of VL2's data-mining cluster
+// (Greenberg et al. 2009): 80% of flows under 10 KB, with a tail reaching
+// hundreds of MB (truncated here at 100 MB to keep reduced-scale runs
+// bounded).
+func DataMining() CDF {
+	c, err := NewCDF("datamining",
+		[]float64{100, 1e3, 2e3, 5e3, 10e3, 100e3, 1e6, 10e6, 50e6, 100e6},
+		[]float64{0.02, 0.50, 0.63, 0.75, 0.80, 0.85, 0.92, 0.96, 0.99, 1.0},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Flow is one generated transfer.
+type Flow struct {
+	Start sim.Time
+	Bytes uint64
+}
+
+// Generate produces flows with Poisson arrivals sized by dist, targeting
+// the given offered load (fraction of linkBps) over the window. At least
+// one flow is always produced.
+func Generate(rng *sim.RNG, dist SizeDist, load float64, linkBps float64, window sim.Duration) ([]Flow, error) {
+	if load <= 0 || load >= 1 {
+		return nil, fmt.Errorf("workload: load %v out of (0,1)", load)
+	}
+	if linkBps <= 0 || window <= 0 {
+		return nil, fmt.Errorf("workload: need positive link rate and window")
+	}
+	// λ = load × capacity / mean flow size (flows per second).
+	lambda := load * linkBps / 8 / dist.Mean()
+	var out []Flow
+	t := float64(0)
+	for {
+		// Exponential inter-arrival.
+		t += -math.Log(1-rng.Float64()) / lambda
+		at := sim.FromSeconds(t)
+		if at >= window {
+			break
+		}
+		out = append(out, Flow{Start: at, Bytes: dist.Sample(rng)})
+	}
+	if len(out) == 0 {
+		out = append(out, Flow{Start: 0, Bytes: dist.Sample(rng)})
+	}
+	return out, nil
+}
+
+// OfferedLoad computes the actual offered load of a generated set.
+func OfferedLoad(flows []Flow, linkBps float64, window sim.Duration) float64 {
+	var bytes float64
+	for _, f := range flows {
+		bytes += float64(f.Bytes)
+	}
+	return bytes * 8 / (linkBps * window.Seconds())
+}

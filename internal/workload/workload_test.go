@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"greenenvy/internal/sim"
+)
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed(1000)
+	if f.Sample(sim.NewRNG(1)) != 1000 || f.Mean() != 1000 {
+		t.Fatal("fixed distribution broken")
+	}
+	if f.Name() != "fixed-1000" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestNewCDFValidation(t *testing.T) {
+	if _, err := NewCDF("x", []float64{1}, []float64{1}); err == nil {
+		t.Error("single knot accepted")
+	}
+	if _, err := NewCDF("x", []float64{2, 1}, []float64{0.5, 1}); err == nil {
+		t.Error("descending sizes accepted")
+	}
+	if _, err := NewCDF("x", []float64{1, 2}, []float64{0.9, 0.95}); err == nil {
+		t.Error("CDF not ending at 1 accepted")
+	}
+	if _, err := NewCDF("x", []float64{1, 2}, []float64{0.5, 1}); err != nil {
+		t.Errorf("valid CDF rejected: %v", err)
+	}
+}
+
+func TestStandardDistributionsSane(t *testing.T) {
+	rng := sim.NewRNG(42)
+	for _, dist := range []SizeDist{WebSearch(), DataMining()} {
+		if dist.Mean() <= 0 {
+			t.Fatalf("%s mean = %v", dist.Name(), dist.Mean())
+		}
+		var sum float64
+		n := 20000
+		min, max := math.Inf(1), 0.0
+		for i := 0; i < n; i++ {
+			v := float64(dist.Sample(rng))
+			if v <= 0 {
+				t.Fatalf("%s sampled %v", dist.Name(), v)
+			}
+			sum += v
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		empMean := sum / float64(n)
+		// Empirical mean within 3x of the analytic knot mean (heavy
+		// tails make this loose by design).
+		if empMean < dist.Mean()/3 || empMean > dist.Mean()*3 {
+			t.Fatalf("%s empirical mean %v vs analytic %v", dist.Name(), empMean, dist.Mean())
+		}
+		if max/min < 100 {
+			t.Fatalf("%s span %v–%v too narrow for a DC distribution", dist.Name(), min, max)
+		}
+	}
+}
+
+func TestWebSearchMedianBand(t *testing.T) {
+	rng := sim.NewRNG(7)
+	d := WebSearch()
+	var sizes []float64
+	for i := 0; i < 10001; i++ {
+		sizes = append(sizes, float64(d.Sample(rng)))
+	}
+	// Median should land in the tens-of-KB band (CDF hits 0.53 at 53 KB).
+	sort.Float64s(sizes)
+	med := sizes[len(sizes)/2]
+	if med < 10e3 || med > 120e3 {
+		t.Fatalf("websearch median = %v, want tens of KB", med)
+	}
+}
+
+func TestGenerateTargetsLoad(t *testing.T) {
+	rng := sim.NewRNG(11)
+	flows, err := Generate(rng, Fixed(1_250_000), 0.5, 10e9, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected flow count: 0.5×10e9/8 bits/s ÷ 1.25MB = 500 flows/s × 2s.
+	if len(flows) < 700 || len(flows) > 1300 {
+		t.Fatalf("generated %d flows, want ~1000", len(flows))
+	}
+	got := OfferedLoad(flows, 10e9, 2*sim.Second)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Fatalf("offered load = %v, want ~0.5", got)
+	}
+	// Arrivals sorted and within the window.
+	for i, f := range flows {
+		if f.Start >= 2*sim.Second {
+			t.Fatalf("flow %d starts after the window", i)
+		}
+		if i > 0 && f.Start < flows[i-1].Start {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Generate(rng, Fixed(1000), 0, 10e9, sim.Second); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := Generate(rng, Fixed(1000), 1.5, 10e9, sim.Second); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := Generate(rng, Fixed(1000), 0.5, 0, sim.Second); err == nil {
+		t.Error("zero link accepted")
+	}
+}
+
+func TestGenerateAlwaysProducesAFlow(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// Tiny window with huge flows: rate so low the window is usually
+	// empty, but the generator must still emit one flow.
+	flows, err := Generate(rng, Fixed(1<<40), 0.01, 1e6, sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+}
+
+// Property: samples always lie within the CDF's support.
+func TestCDFSampleBoundsProperty(t *testing.T) {
+	d := DataMining()
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := float64(d.Sample(rng))
+			if v < 100 || v > 100e6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

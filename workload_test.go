@@ -1,0 +1,41 @@
+package greenenvy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadEfficiencyRisesWithLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	res, err := RunWorkload(Options{Reps: 1, Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d, want 2 dists × 3 loads", len(res.Points))
+	}
+	byDist := map[string][]WorkloadPoint{}
+	for _, p := range res.Points {
+		byDist[p.Dist] = append(byDist[p.Dist], p)
+		if p.Flows == 0 || p.GBMoved <= 0 || p.EnergyPerGB <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	for dist, pts := range byDist {
+		// Concavity at workload scale: J/GB strictly falls with load.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].EnergyPerGB >= pts[i-1].EnergyPerGB {
+				t.Errorf("%s: J/GB rose with load: %+v", dist, pts)
+			}
+		}
+		// Queueing at workload scale: p99 FCT rises with load.
+		if pts[len(pts)-1].P99FCTms <= pts[0].P99FCTms {
+			t.Errorf("%s: p99 FCT did not grow with load", dist)
+		}
+	}
+	if !strings.Contains(res.Table(), "websearch") || !strings.Contains(res.Table(), "datamining") {
+		t.Fatal("table missing workloads")
+	}
+}
