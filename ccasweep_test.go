@@ -1,11 +1,21 @@
 package greenenvy
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"greenenvy/internal/cca"
 )
+
+// resetSweepCache empties the sweep cache so a test can force fresh
+// computations for options that would otherwise hit the cache.
+func resetSweepCache() {
+	sweepMu.Lock()
+	sweepCache = map[string]*sweepEntry{}
+	sweepMu.Unlock()
+}
 
 // syntheticSweep builds a SweepResult with hand-written numbers so table
 // rendering and derived statistics can be tested without running the
@@ -70,6 +80,76 @@ func TestSweepTablesRenderAllCells(t *testing.T) {
 	}
 	if !strings.Contains(f8.Table(), "0.47") {
 		t.Fatal("retx correlation not rendered")
+	}
+}
+
+// TestSweepParallelMatchesSerial is the determinism regression test for the
+// worker-pool executor: the same Options must produce a byte-identical
+// SweepResult (same cell order, same float values) at Workers 1 and 8.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	base := Options{Reps: 2, Scale: 0.001, Seed: 7}
+
+	serialOpts := base
+	serialOpts.Workers = 1
+	resetSweepCache()
+	serial, err := RunCCASweep(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallelOpts := base
+	parallelOpts.Workers = 8
+	resetSweepCache() // force a fresh computation: the cache key ignores Workers
+	parallel, err := RunCCASweep(parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(parallel.Cells) != len(serial.Cells) {
+		t.Fatalf("cell count %d != %d", len(parallel.Cells), len(serial.Cells))
+	}
+	for i := range serial.Cells {
+		if !reflect.DeepEqual(serial.Cells[i], parallel.Cells[i]) {
+			t.Fatalf("cell %d differs between Workers=1 and Workers=8:\n%+v\nvs\n%+v",
+				i, serial.Cells[i], parallel.Cells[i])
+		}
+	}
+	if serial.Bytes != parallel.Bytes || serial.ScaleToPaper != parallel.ScaleToPaper {
+		t.Fatalf("sweep metadata differs: %+v vs %+v", serial, parallel)
+	}
+}
+
+// TestConcurrentSweepCallersShareOneRun exercises the singleflight path: all
+// concurrent callers with the same key must receive the pointer produced by
+// a single shared computation (run under -race in CI).
+func TestConcurrentSweepCallersShareOneRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	resetSweepCache()
+	o := Options{Reps: 1, Scale: 0.001, Seed: 9, Workers: 2}
+	const callers = 4
+	results := make([]*SweepResult, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunCCASweep(o)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer; sweep computed more than once", i)
+		}
 	}
 }
 

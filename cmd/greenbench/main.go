@@ -21,16 +21,17 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1..8, theorem, scheduler, or all")
-		reps   = flag.Int("reps", 3, "repetitions per scenario (paper: 10)")
-		scale  = flag.Float64("scale", 0.04, "fraction of the paper's transfer sizes (paper: 1.0)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		quiet  = flag.Bool("q", false, "suppress progress lines")
-		svgDir = flag.String("svg", "", "also write figure SVGs into this directory")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1..8, theorem, scheduler, or all")
+		reps    = flag.Int("reps", 3, "repetitions per scenario (paper: 10)")
+		scale   = flag.Float64("scale", 0.04, "fraction of the paper's transfer sizes (paper: 1.0)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "concurrent simulator runs per experiment (0 = all CPUs, 1 = serial; results are identical either way)")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		svgDir  = flag.String("svg", "", "also write figure SVGs into this directory")
 	)
 	flag.Parse()
 
-	o := greenenvy.Options{Reps: *reps, Scale: *scale, Seed: *seed, Verbose: !*quiet}
+	o := greenenvy.Options{Reps: *reps, Scale: *scale, Seed: *seed, Workers: *workers, Verbose: !*quiet}
 	if err := run(*fig, o, *svgDir); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)

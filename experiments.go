@@ -2,7 +2,7 @@ package greenenvy
 
 import (
 	"fmt"
-	"math"
+	"runtime"
 
 	"greenenvy/internal/sim"
 	"greenenvy/internal/testbed"
@@ -22,6 +22,11 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness. Default 1.
 	Seed uint64
+	// Workers bounds how many simulator runs execute concurrently. Each
+	// repetition is an independent, seed-deterministic engine, so results
+	// are byte-identical for every worker count; only wall-clock time
+	// changes. Default runtime.GOMAXPROCS(0); 1 forces the serial path.
+	Workers int
 	// Verbose, when set, makes runners print progress lines.
 	Verbose bool
 }
@@ -38,6 +43,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -61,25 +72,11 @@ func deadlineFor(bytes uint64) sim.Duration {
 	return sim.Duration(bytes*8/500e6+10) * sim.Second
 }
 
-// meanStd is a tiny local helper over run energies.
-func meanStd(xs []float64) (m, s float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	for _, x := range xs {
-		m += x
-	}
-	m /= float64(len(xs))
-	for _, x := range xs {
-		s += (x - m) * (x - m)
-	}
-	s /= float64(len(xs))
-	return m, math.Sqrt(s)
-}
-
-// repeatRuns centralizes the repetition loop with derived seeds.
+// repeatRuns centralizes the repetition loop with derived seeds, fanned out
+// over Options.Workers goroutines. Each repetition builds and runs its own
+// testbed, so build must not capture state shared across repetitions.
 func repeatRuns(o Options, build func(seed uint64) (*testbed.Testbed, error), deadline sim.Duration) ([]testbed.RunResult, error) {
-	return testbed.Repeat(o.Reps, o.Seed, func(rep int, seed uint64) (testbed.RunResult, error) {
+	return testbed.RepeatParallel(o.Reps, o.Seed, o.Workers, func(rep int, seed uint64) (testbed.RunResult, error) {
 		tb, err := build(seed)
 		if err != nil {
 			return testbed.RunResult{}, err

@@ -6,6 +6,7 @@ import (
 
 	"greenenvy/internal/energy"
 	"greenenvy/internal/iperf"
+	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
@@ -53,7 +54,6 @@ func RunIncast(o Options) (IncastResult, error) {
 	p := PaperPowerFunc()
 
 	for _, n := range []int{2, 4, 8, 16} {
-		n := n
 		per := totalBytes / uint64(n)
 		run := func(serial bool) (float64, float64, error) {
 			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
@@ -83,8 +83,8 @@ func RunIncast(o Options) (IncastResult, error) {
 				es = append(es, r.TotalSenderJ)
 				ds = append(ds, r.Duration.Seconds())
 			}
-			em, _ := meanStd(es)
-			dm, _ := meanStd(ds)
+			em, _ := stats.MeanStd(es)
+			dm, _ := stats.MeanStd(ds)
 			return em, dm, nil
 		}
 		fairJ, fairD, err := run(false)
@@ -190,7 +190,7 @@ func RunSameSender(o Options) (SameSenderResult, error) {
 		for _, r := range runs {
 			es = append(es, r.TotalSenderJ)
 		}
-		m, _ := meanStd(es)
+		m, _ := stats.MeanStd(es)
 		return m, nil
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"greenenvy/internal/core"
 	"greenenvy/internal/iperf"
+	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
@@ -72,7 +73,6 @@ func RunFig1(o Options) (Fig1Result, error) {
 
 	deadline := deadlineFor(2 * bytes)
 	for _, f := range fractions {
-		f := f
 		runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Senders: 2, UseDRR: f < 1.0, Seed: seed})
 			c1, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic"})
@@ -105,7 +105,7 @@ func RunFig1(o Options) (Fig1Result, error) {
 			energies = append(energies, r.TotalSenderJ)
 		}
 		jain := 1 / (2 * (f*f + (1-f)*(1-f)))
-		m, s := meanStd(energies)
+		m, s := stats.MeanStd(energies)
 		res.Points = append(res.Points, Fig1Point{
 			Fraction:           f,
 			MeanEnergyJ:        m,

@@ -7,6 +7,7 @@ import (
 	"greenenvy/internal/energy"
 	"greenenvy/internal/iperf"
 	"greenenvy/internal/sim"
+	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
@@ -54,7 +55,6 @@ func RunFig2(o Options) (Fig2Result, error) {
 	}
 	rates := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	for _, gbps := range rates {
-		gbps := gbps
 		bytes := uint64(gbps * 1e9 / 8 * hold)
 		runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Seed: seed})
@@ -68,7 +68,7 @@ func RunFig2(o Options) (Fig2Result, error) {
 		for _, r := range runs {
 			watts = append(watts, r.SenderEnergyJ[0]/r.Duration.Seconds())
 		}
-		m, s := meanStd(watts)
+		m, s := stats.MeanStd(watts)
 		res.Points = append(res.Points, Fig2Point{Gbps: gbps, SmoothW: m, StdW: s})
 		o.logf("fig2: %.0f Gb/s -> %.2f ± %.2f W", gbps, m, s)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"greenenvy/internal/iperf"
+	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
@@ -55,7 +56,6 @@ func RunFig4(o Options) (Fig4Result, error) {
 	rates := []float64{1, 2.5, 5, 7.5, 10}
 	for _, load := range loads {
 		for _, gbps := range rates {
-			load, gbps := load, gbps
 			bytes := uint64(gbps * 1e9 / 8 * hold)
 			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed})
@@ -72,7 +72,7 @@ func RunFig4(o Options) (Fig4Result, error) {
 			for _, r := range runs {
 				watts = append(watts, r.SenderEnergyJ[0]/r.Duration.Seconds())
 			}
-			m, s := meanStd(watts)
+			m, s := stats.MeanStd(watts)
 			res.Points = append(res.Points, Fig4Point{Load: load, Gbps: gbps, MeanW: m, StdW: s})
 			o.logf("fig4: load %.0f%% %.1f Gb/s -> %.2f W", load*100, gbps, m)
 		}
@@ -83,7 +83,6 @@ func RunFig4(o Options) (Fig4Result, error) {
 	bytes := uint64(10 * paperGbit * o.Scale)
 	targets := map[float64]string{0: "~16%", 0.25: "~1%", 0.50: "(not quoted)", 0.75: "~0.17%"}
 	for _, load := range loads {
-		load := load
 		energy := func(serial bool) (float64, error) {
 			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Senders: 2, UseDRR: !serial, Seed: seed})
@@ -119,7 +118,7 @@ func RunFig4(o Options) (Fig4Result, error) {
 			for _, r := range runs {
 				es = append(es, r.TotalSenderJ)
 			}
-			m, _ := meanStd(es)
+			m, _ := stats.MeanStd(es)
 			return m, nil
 		}
 		fairJ, err := energy(false)

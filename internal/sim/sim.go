@@ -56,7 +56,10 @@ type Event struct {
 func (e *Event) Time() Time { return e.at }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel is O(log n).
+// already fired or been cancelled is a no-op. Cancel is O(1): the event is
+// lazily marked dead and stays in the queue until its time comes, when the
+// engine pops and discards it without running fn. Until then the event still
+// counts toward Pending (see Pending's doc) and retains its fn closure.
 func (e *Event) Cancel() {
 	e.dead = true
 }

@@ -48,7 +48,6 @@ func RunProduction(o Options) (ProductionResult, error) {
 	res := ProductionResult{Bytes: bytes, ScaleToPaper: float64(paperTransferBytes) / float64(bytes)}
 	for _, name := range productionSet() {
 		for _, mtu := range []int{1500, 9000} {
-			name, mtu := name, mtu
 			cell := ProductionCell{CCA: name, MTU: mtu}
 			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed, MarkBytes: 100 << 10})

@@ -57,17 +57,14 @@ func RunWorkload(o Options) (WorkloadResult, error) {
 	dists := []workload.SizeDist{workload.WebSearch(), workload.DataMining()}
 	for _, dist := range dists {
 		for _, load := range []float64{0.2, 0.5, 0.8} {
-			dist, load := dist, load
 			var energies, gbs, powers []float64
 			var meanFCTs, p99FCTs []float64
-			flowsUsed := 0
 			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
 				rng := sim.NewRNG(seed)
 				flows, err := workload.Generate(rng, dist, load, 10e9, window)
 				if err != nil {
 					return nil, err
 				}
-				flowsUsed = len(flows)
 				tb := testbed.New(testbed.Options{Senders: senders, Seed: seed})
 				for i, f := range flows {
 					_, err := tb.AddFlow(i%senders, iperf.Spec{
@@ -97,6 +94,9 @@ func RunWorkload(o Options) (WorkloadResult, error) {
 				meanFCTs = append(meanFCTs, stats.Mean(fcts))
 				p99FCTs = append(p99FCTs, stats.Percentile(fcts, 99))
 			}
+			// One flow per iperf report; the last repetition's count
+			// matches what the serial runner reported.
+			flowsUsed := len(runs[len(runs)-1].Reports)
 			res.Points = append(res.Points, WorkloadPoint{
 				Dist:        dist.Name(),
 				Load:        load,
