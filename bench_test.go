@@ -22,6 +22,7 @@ import (
 func benchOpts() Options { return Options{Reps: 2, Scale: 0.02, Seed: 1} }
 
 func BenchmarkFig1UnfairnessSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig1(Options{Reps: 2, Scale: 0.2, Seed: 1})
 		if err != nil {
@@ -36,6 +37,7 @@ func BenchmarkFig1UnfairnessSweep(b *testing.B) {
 }
 
 func BenchmarkFig2PowerVsThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig2(benchOpts())
 		if err != nil {
@@ -51,6 +53,7 @@ func BenchmarkFig2PowerVsThroughput(b *testing.B) {
 }
 
 func BenchmarkFig3ThroughputTraces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig3(Options{Reps: 1, Scale: 0.2, Seed: 1})
 		if err != nil {
@@ -64,6 +67,7 @@ func BenchmarkFig3ThroughputTraces(b *testing.B) {
 }
 
 func BenchmarkFig4LoadedHosts(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig4(Options{Reps: 2, Scale: 0.1, Seed: 1})
 		if err != nil {
@@ -79,6 +83,7 @@ func BenchmarkFig4LoadedHosts(b *testing.B) {
 }
 
 func BenchmarkFig5EnergyPerCCA(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig5(benchOpts())
 		if err != nil {
@@ -94,6 +99,7 @@ func BenchmarkFig5EnergyPerCCA(b *testing.B) {
 }
 
 func BenchmarkFig6PowerPerCCA(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig6(benchOpts())
 		if err != nil {
@@ -108,6 +114,7 @@ func BenchmarkFig6PowerPerCCA(b *testing.B) {
 }
 
 func BenchmarkFig7EnergyVsFCT(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig7(benchOpts())
 		if err != nil {
@@ -121,6 +128,7 @@ func BenchmarkFig7EnergyVsFCT(b *testing.B) {
 }
 
 func BenchmarkFig8EnergyVsRetx(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFig8(benchOpts())
 		if err != nil {
@@ -134,6 +142,7 @@ func BenchmarkFig8EnergyVsRetx(b *testing.B) {
 }
 
 func BenchmarkWorkloadEnergy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunWorkload(Options{Reps: 1, Scale: 0.02, Seed: 1})
 		if err != nil {
@@ -148,6 +157,7 @@ func BenchmarkWorkloadEnergy(b *testing.B) {
 }
 
 func BenchmarkProductionCCAs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunProduction(Options{Reps: 1, Scale: 0.01, Seed: 1})
 		if err != nil {
@@ -162,6 +172,7 @@ func BenchmarkProductionCCAs(b *testing.B) {
 }
 
 func BenchmarkIncast(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunIncast(Options{Reps: 2, Scale: 0.05, Seed: 1})
 		if err != nil {
@@ -176,6 +187,7 @@ func BenchmarkIncast(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunAblations()
 		if err != nil {
@@ -187,6 +199,7 @@ func BenchmarkAblations(b *testing.B) {
 }
 
 func BenchmarkTheorem1(b *testing.B) {
+	b.ReportAllocs()
 	p := PaperPowerFunc()
 	y := []float64{7.5e9, 2.5e9}
 	for i := 0; i < b.N; i++ {
@@ -197,6 +210,7 @@ func BenchmarkTheorem1(b *testing.B) {
 }
 
 func BenchmarkSRPTScheduler(b *testing.B) {
+	b.ReportAllocs()
 	p := PaperPowerFunc()
 	flows := []core.Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
 	var last Comparison

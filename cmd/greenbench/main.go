@@ -8,6 +8,8 @@
 //	greenbench -fig all -reps 10 -scale 1   # full paper parameters
 //	greenbench -fig theorem      # Theorem 1 verification
 //	greenbench -fig scheduler    # §5 SRPT-vs-fair scheduler comparison
+//	greenbench -fig 5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                             # profile a run; inspect with `go tool pprof`
 package main
 
 import (
@@ -15,25 +17,65 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"greenenvy"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1..8, theorem, scheduler, or all")
-		reps    = flag.Int("reps", 3, "repetitions per scenario (paper: 10)")
-		scale   = flag.Float64("scale", 0.04, "fraction of the paper's transfer sizes (paper: 1.0)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "concurrent simulator runs per experiment (0 = all CPUs, 1 = serial; results are identical either way)")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
-		svgDir  = flag.String("svg", "", "also write figure SVGs into this directory")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1..8, theorem, scheduler, or all")
+		reps       = flag.Int("reps", 3, "repetitions per scenario (paper: 10)")
+		scale      = flag.Float64("scale", 0.04, "fraction of the paper's transfer sizes (paper: 1.0)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "concurrent simulator runs per experiment (0 = all CPUs, 1 = serial; results are identical either way)")
+		quiet      = flag.Bool("q", false, "suppress progress lines")
+		svgDir     = flag.String("svg", "", "also write figure SVGs into this directory")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (view with `go tool pprof`)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	o := greenenvy.Options{Reps: *reps, Scale: *scale, Seed: *seed, Workers: *workers, Verbose: !*quiet}
-	if err := run(*fig, o, *svgDir); err != nil {
+	err := run(*fig, o, *svgDir)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // surface live objects, not transient garbage
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memprofile)
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
+		// os.Exit would skip the deferred StopCPUProfile; the profile is
+		// already flushed for the success path, so just exit nonzero here.
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

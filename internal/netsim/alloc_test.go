@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+// These tests pin the steady-state allocation counts of the link packet
+// path. Before the pooled-event engine, every packet traversal allocated
+// five objects (two closures, two heap events boxed through `any`, and
+// queue-slice growth); the rewrite brings both the data-packet and the
+// pure-ACK path to zero. If a change makes these fail, it reintroduced
+// per-packet garbage on the hottest path in the simulator — fix the change,
+// don't bump the pins.
+
+// linkAllocsPerPacket measures steady-state allocations for one packet
+// traversing queue → serializer → propagation → delivery.
+func linkAllocsPerPacket(t *testing.T, wireSize, dataLen int) float64 {
+	t.Helper()
+	e := sim.NewEngine()
+	delivered := 0
+	l := NewLink(e, "pin", 10_000_000_000, 5*sim.Microsecond, NewDropTail(1<<20, 0),
+		HandlerFunc(func(p *Packet) { delivered++ }))
+	p := &Packet{Flow: 1, Dst: 1, WireSize: wireSize, DataLen: dataLen}
+	traverse := func() {
+		l.HandlePacket(p)
+		e.Run()
+	}
+	// Warm the event pool and the queue ring past their steady-state
+	// sizes before measuring.
+	for i := 0; i < 128; i++ {
+		traverse()
+	}
+	avg := testing.AllocsPerRun(200, traverse)
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	return avg
+}
+
+func TestLinkDataPacketPathAllocFree(t *testing.T) {
+	if got := linkAllocsPerPacket(t, 1500, 1460); got != 0 {
+		t.Fatalf("data-packet link path allocates %.1f objects/packet, want 0", got)
+	}
+}
+
+func TestLinkPureAckPathAllocFree(t *testing.T) {
+	if got := linkAllocsPerPacket(t, 40, 0); got != 0 {
+		t.Fatalf("pure-ACK link path allocates %.1f objects/packet, want 0", got)
+	}
+}
+
+// TestSwitchPipelinePathAllocFree extends the pin across a store-and-forward
+// switch hop with a non-zero pipeline delay (the default dumbbell's
+// configuration), exercising the switch's FIFO delay line.
+func TestSwitchPipelinePathAllocFree(t *testing.T) {
+	e := sim.NewEngine()
+	delivered := 0
+	sw := NewSwitch(e, "pin", sim.Microsecond)
+	sw.Connect(1, HandlerFunc(func(p *Packet) { delivered++ }))
+	l := NewLink(e, "pin", 10_000_000_000, 5*sim.Microsecond, NewDropTail(1<<20, 0), sw)
+	p := &Packet{Flow: 1, Dst: 1, WireSize: 1500, DataLen: 1460}
+	traverse := func() {
+		p.hops = 0
+		l.HandlePacket(p)
+		e.Run()
+	}
+	for i := 0; i < 128; i++ {
+		traverse()
+	}
+	if got := testing.AllocsPerRun(200, traverse); got != 0 {
+		t.Fatalf("link+switch path allocates %.1f objects/packet, want 0", got)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// TestDropTailSteadyStateAllocFree pins the ring-buffer queue: enqueue plus
+// dequeue with a standing backlog must not touch the heap.
+func TestDropTailSteadyStateAllocFree(t *testing.T) {
+	q := NewDropTail(1<<30, 0)
+	p := &Packet{WireSize: 1500}
+	for i := 0; i < 64; i++ {
+		q.Enqueue(p)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		q.Enqueue(p)
+		q.Dequeue()
+	}); got != 0 {
+		t.Fatalf("DropTail steady state allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestDRRSteadyStateAllocFree pins the weighted-fair queue the same way.
+func TestDRRSteadyStateAllocFree(t *testing.T) {
+	q := NewDRR(1<<30, 0)
+	p := &Packet{Flow: 1, WireSize: 1500}
+	for i := 0; i < 64; i++ {
+		q.Enqueue(p)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		q.Enqueue(p)
+		q.Dequeue()
+	}); got != 0 {
+		t.Fatalf("DRR steady state allocates %.1f objects/op, want 0", got)
+	}
+}

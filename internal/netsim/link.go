@@ -14,13 +14,24 @@ type Link struct {
 	Name string
 	// RateBps is the line rate in bits per second.
 	RateBps int64
-	// Delay is the one-way propagation delay.
+	// Delay is the one-way propagation delay. It must stay constant once
+	// packets flow: deliveries ride a FIFO delay line, which panics if
+	// due times ever go backwards.
 	Delay sim.Duration
 
 	engine *sim.Engine
 	queue  Queue
 	dst    Handler
 	busy   bool
+	// txPkt is the packet currently being serialized; txDone is the
+	// standing serialization-completion timer (rearmed per packet, never
+	// reallocated).
+	txPkt  *Packet
+	txDone *sim.Timer
+	// wire is the propagation stage: delay is constant per link, so
+	// deliveries are FIFO and one standing event plus a ring of in-flight
+	// packets replaces a heap event and closure per packet.
+	wire *sim.DelayLine[*Packet]
 
 	// TxPackets and TxBytes count packets/bytes that completed
 	// serialization onto the wire.
@@ -39,7 +50,10 @@ func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration,
 	if queue == nil || dst == nil || engine == nil {
 		panic("netsim: NewLink requires engine, queue and dst")
 	}
-	return &Link{Name: name, RateBps: rateBps, Delay: delay, engine: engine, queue: queue, dst: dst}
+	l := &Link{Name: name, RateBps: rateBps, Delay: delay, engine: engine, queue: queue, dst: dst}
+	l.txDone = engine.NewTimer(l.onTxDone)
+	l.wire = sim.NewDelayLine(engine, dst.HandlePacket)
+	return l
 }
 
 // Queue exposes the link's queue discipline (for weight configuration and
@@ -61,6 +75,7 @@ func (l *Link) HandlePacket(p *Packet) {
 	}
 }
 
+// transmitNext starts serializing the next queued packet, if any.
 func (l *Link) transmitNext() {
 	p := l.queue.Dequeue()
 	if p == nil {
@@ -69,23 +84,28 @@ func (l *Link) transmitNext() {
 	}
 	l.busy = true
 	l.busyStart = l.engine.Now()
-	txTime := l.SerializationTime(p.WireSize)
-	l.engine.After(txTime, func() {
-		l.TxPackets++
-		l.TxBytes += uint64(p.WireSize)
-		l.busyTime += l.engine.Now() - l.busyStart
-		if p.Flags.Has(FlagINT) {
-			p.INT = append(p.INT, INTHop{
-				QueueBytes: l.queue.Bytes(),
-				TxBytes:    l.TxBytes,
-				At:         l.engine.Now(),
-				RateBps:    l.RateBps,
-			})
-		}
-		dst, delay := l.dst, l.Delay
-		l.engine.After(delay, func() { dst.HandlePacket(p) })
-		l.transmitNext()
-	})
+	l.txPkt = p
+	l.txDone.Reset(l.SerializationTime(p.WireSize))
+}
+
+// onTxDone fires when the current packet finishes serializing: it enters
+// the propagation stage and the next queued packet starts clocking out.
+func (l *Link) onTxDone() {
+	p := l.txPkt
+	l.txPkt = nil
+	l.TxPackets++
+	l.TxBytes += uint64(p.WireSize)
+	l.busyTime += l.engine.Now() - l.busyStart
+	if p.Flags.Has(FlagINT) {
+		p.INT = append(p.INT, INTHop{
+			QueueBytes: l.queue.Bytes(),
+			TxBytes:    l.TxBytes,
+			At:         l.engine.Now(),
+			RateBps:    l.RateBps,
+		})
+	}
+	l.wire.Schedule(p, l.engine.Now()+l.Delay)
+	l.transmitNext()
 }
 
 // Busy reports whether the link is currently serializing a packet.

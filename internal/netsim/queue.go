@@ -41,7 +41,7 @@ type DropTail struct {
 	// threshold (the DCTCP "K" parameter, in bytes).
 	MarkBytes int
 
-	pkts  []*Packet
+	pkts  pktRing
 	bytes int
 	stats QueueStats
 }
@@ -63,7 +63,7 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 		p.Flags |= FlagCE
 		q.stats.MarkedCE++
 	}
-	q.pkts = append(q.pkts, p)
+	q.pkts.Push(p)
 	q.bytes += p.WireSize
 	q.stats.EnqueuedPackets++
 	if q.bytes > q.stats.MaxBytes {
@@ -74,23 +74,16 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	p := q.pkts.Pop()
+	if p == nil {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
 	q.bytes -= p.WireSize
-	// Reset the backing array periodically so the slice does not grow
-	// without bound over a long run.
-	if len(q.pkts) == 0 {
-		q.pkts = nil
-	}
 	return p
 }
 
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.pkts) }
+func (q *DropTail) Len() int { return q.pkts.Len() }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() int { return q.bytes }

@@ -1,0 +1,58 @@
+package netsim
+
+// pktRing is a growable FIFO ring buffer of packets. Queue disciplines use
+// it instead of shift-by-reslice ([0] + [1:]) slices, which leak the
+// consumed prefix until the queue drains and re-allocate the backing array
+// every time the queue refills. The ring reuses one power-of-two backing
+// array for the life of the queue; steady-state enqueue/dequeue is
+// allocation-free.
+type pktRing struct {
+	buf  []*Packet // power-of-two length, so indexing is a mask
+	head int
+	n    int
+}
+
+// Len reports the number of buffered packets.
+func (r *pktRing) Len() int { return r.n }
+
+// Push appends p to the tail.
+func (r *pktRing) Push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// Pop removes and returns the head packet, or nil if the ring is empty.
+func (r *pktRing) Pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil // drop the reference for the GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (r *pktRing) Peek() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *pktRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	next := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}

@@ -34,7 +34,7 @@ type drrFlow struct {
 	weight    float64
 	quantum   int
 	deficit   int
-	pkts      []*Packet
+	pkts      pktRing
 	bytes     int
 	inRing    bool
 	isServing bool // currently at the head of the ring mid-quantum
@@ -122,7 +122,7 @@ func (q *DRR) Enqueue(p *Packet) bool {
 		q.stats.MarkedCE++
 	}
 	f := q.flow(p.Flow)
-	f.pkts = append(f.pkts, p)
+	f.pkts.Push(p)
 	f.bytes += p.WireSize
 	q.bytes += p.WireSize
 	q.stats.EnqueuedPackets++
@@ -156,7 +156,7 @@ func (q *DRR) dequeueRing(ring *[]*drrFlow, useDeficit bool) *Packet {
 			panic("netsim: DRR failed to schedule a packet (internal bug)")
 		}
 		f := (*ring)[0]
-		head := f.pkts[0]
+		head := f.pkts.Peek()
 		if useDeficit {
 			if !f.isServing {
 				f.deficit += f.quantum
@@ -170,12 +170,10 @@ func (q *DRR) dequeueRing(ring *[]*drrFlow, useDeficit bool) *Packet {
 			}
 			f.deficit -= head.WireSize
 		}
-		f.pkts[0] = nil
-		f.pkts = f.pkts[1:]
+		f.pkts.Pop()
 		f.bytes -= head.WireSize
 		q.bytes -= head.WireSize
-		if len(f.pkts) == 0 {
-			f.pkts = nil
+		if f.pkts.Len() == 0 {
 			*ring = (*ring)[1:]
 			f.inRing = false
 			f.isServing = false
@@ -190,7 +188,7 @@ func (q *DRR) dequeueRing(ring *[]*drrFlow, useDeficit bool) *Packet {
 func (q *DRR) Len() int {
 	n := 0
 	for _, f := range q.flows {
-		n += len(f.pkts)
+		n += f.pkts.Len()
 	}
 	return n
 }

@@ -18,13 +18,25 @@ type Switch struct {
 
 	engine *sim.Engine
 	ports  map[NodeID]Handler
+	// pipe is the forwarding pipeline: the delay is fixed, so in-flight
+	// packets form a FIFO and one standing event serves them all.
+	pipe *sim.DelayLine[switchDelivery]
 	// RxPackets counts packets received for forwarding.
 	RxPackets uint64
 }
 
+// switchDelivery is one packet in the forwarding pipeline with its output
+// port already resolved (lookup happens at arrival, as before).
+type switchDelivery struct {
+	out Handler
+	p   *Packet
+}
+
 // NewSwitch creates an empty switch.
 func NewSwitch(engine *sim.Engine, name string, pipelineDelay sim.Duration) *Switch {
-	return &Switch{Name: name, PipelineDelay: pipelineDelay, engine: engine, ports: make(map[NodeID]Handler)}
+	s := &Switch{Name: name, PipelineDelay: pipelineDelay, engine: engine, ports: make(map[NodeID]Handler)}
+	s.pipe = sim.NewDelayLine(engine, func(d switchDelivery) { d.out.HandlePacket(d.p) })
+	return s
 }
 
 // Connect installs the output port used to reach dst. Typically out is a
@@ -48,7 +60,7 @@ func (s *Switch) HandlePacket(p *Packet) {
 	}
 	s.RxPackets++
 	if s.PipelineDelay > 0 {
-		s.engine.After(s.PipelineDelay, func() { out.HandlePacket(p) })
+		s.pipe.Schedule(switchDelivery{out: out, p: p}, s.engine.Now()+s.PipelineDelay)
 		return
 	}
 	out.HandlePacket(p)

@@ -1,0 +1,163 @@
+// Package perf holds the simulator's microbenchmark bodies. They live in a
+// normal (non-test) package so two consumers can share them:
+//
+//   - the `go test -bench` wrappers in internal/sim and internal/netsim,
+//     which run them under the standard benchmark harness, and
+//   - cmd/simbench, which runs them via testing.Benchmark and writes the
+//     results to BENCH_sim.json, giving the repo a recorded perf
+//     trajectory from PR to PR.
+//
+// Every body reports allocations: the engine hot path is supposed to be
+// allocation-free, and these benchmarks are where that regression would
+// first show.
+package perf
+
+import (
+	"testing"
+
+	"greenenvy/internal/iperf"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/sim"
+	"greenenvy/internal/tcp"
+	"greenenvy/internal/testbed"
+)
+
+// BenchEngineEventLoop measures raw event throughput: a self-rescheduling
+// callback chain, the pattern of every periodic sampler in the testbed.
+// Steady state must be allocation-free (the fired event is recycled into
+// the next After).
+func BenchEngineEventLoop(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(100, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(100, tick)
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchTimerRearm measures the cancel-and-rearm pattern of the TCP sender
+// timers (RTO/TLP/pacing rearm on nearly every ACK): one pinned event moved
+// in place per Reset, no allocation, no dead-event accumulation.
+func BenchTimerRearm(b *testing.B) {
+	e := sim.NewEngine()
+	t := e.NewTimer(func() {})
+	// A little background population so the heap fix is not trivially
+	// root-only.
+	for i := 0; i < 64; i++ {
+		e.At(sim.Time(1000+i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(sim.Duration(100 + i%7))
+	}
+	b.StopTimer()
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rearms/s")
+}
+
+// countingSink counts delivered packets.
+type countingSink struct{ n int }
+
+// HandlePacket implements netsim.Handler.
+func (s *countingSink) HandlePacket(p *netsim.Packet) { s.n++ }
+
+// benchLinkPath pushes one wireSize-byte packet per iteration through a
+// 10 Gb/s link with 5 µs propagation delay — enqueue, serialize, propagate,
+// deliver — and reports packets/sec. This is the path the tentpole makes
+// allocation-free; see the AllocsPerRun pins in internal/netsim.
+func benchLinkPath(b *testing.B, wireSize, dataLen int) {
+	e := sim.NewEngine()
+	sink := &countingSink{}
+	l := netsim.NewLink(e, "bench", 10_000_000_000, 5*sim.Microsecond, netsim.NewDropTail(1<<20, 0), sink)
+	p := &netsim.Packet{Flow: 1, Dst: 1, WireSize: wireSize, DataLen: dataLen}
+	run := func() {
+		l.HandlePacket(p)
+		e.Run()
+	}
+	for i := 0; i < 128; i++ {
+		run() // warm the event pool and queue ring
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchLinkDataPacket is the MTU-1500 data-packet link path.
+func BenchLinkDataPacket(b *testing.B) { benchLinkPath(b, 1500, 1460) }
+
+// BenchLinkPureAck is the header-only pure-ACK link path.
+func BenchLinkPureAck(b *testing.B) { benchLinkPath(b, tcp.HeaderBytes, 0) }
+
+// BenchDropTailQueue measures steady-state FIFO enqueue/dequeue on the
+// ring-buffer DropTail with a standing backlog.
+func BenchDropTailQueue(b *testing.B) {
+	q := netsim.NewDropTail(1<<30, 0)
+	p := &netsim.Packet{WireSize: 1500}
+	for i := 0; i < 64; i++ {
+		q.Enqueue(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p)
+		q.Dequeue()
+	}
+}
+
+// BenchDRRQueue measures the weighted-fair scheduler's per-packet cost with
+// four competing flows backlogged.
+func BenchDRRQueue(b *testing.B) {
+	q := netsim.NewDRR(1<<30, 0)
+	pkts := make([]*netsim.Packet, 4)
+	for f := range pkts {
+		pkts[f] = &netsim.Packet{Flow: netsim.FlowID(f), WireSize: 1500}
+		q.SetWeight(netsim.FlowID(f), float64(f+1))
+		for i := 0; i < 16; i++ {
+			q.Enqueue(pkts[f])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%4])
+		q.Dequeue()
+	}
+}
+
+// BenchDumbbellTransfer runs a complete 25 MB cubic transfer across the
+// paper's dumbbell testbed — TCP sender and receiver, bonded uplinks,
+// switch, bottleneck queue, energy metering — and reports end-to-end
+// simulated packets/sec (every packet the switch forwarded, data and ACKs).
+func BenchDumbbellTransfer(b *testing.B) {
+	const bytes = 25_000_000
+	b.ReportAllocs()
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Options{Seed: 1})
+		if _, err := tb.AddFlow(0, iperf.Spec{
+			Bytes:  bytes,
+			CCA:    "cubic",
+			Config: tcp.Config{MTU: 1500},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tb.Run(10 * sim.Second); err != nil {
+			b.Fatal(err)
+		}
+		pkts += tb.Net.Switch.RxPackets
+	}
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/run")
+}

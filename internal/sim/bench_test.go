@@ -1,0 +1,15 @@
+package sim_test
+
+// Engine microbenchmarks. The bodies live in internal/perf so that
+// cmd/simbench can run the identical code and record the results in
+// BENCH_sim.json; these wrappers expose them to `go test -bench`.
+
+import (
+	"testing"
+
+	"greenenvy/internal/perf"
+)
+
+func BenchmarkEngineEventLoop(b *testing.B) { perf.BenchEngineEventLoop(b) }
+
+func BenchmarkTimerRearm(b *testing.B) { perf.BenchTimerRearm(b) }

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// DelayLine delivers items at scheduled times through a single standing
+// event plus a reusable ring buffer, for producers whose due times are
+// nondecreasing: a link's constant propagation delay, a switch's fixed
+// pipeline latency, a serialized per-packet receive path. Such deliveries
+// are FIFO by construction, so the engine's heap only ever needs to hold
+// the head of the line — everything behind it waits in the ring. Scheduling
+// a delivery is allocation-free once the ring has grown to the line's peak
+// in-flight count.
+//
+// Determinism: each item captures its ordering rank (the engine's
+// scheduling sequence number) at Schedule time, and the standing event is
+// re-armed with that stored rank. Event interleaving is therefore
+// bit-identical to scheduling one heap event per item, as the pre-pooling
+// engine did.
+type DelayLine[T any] struct {
+	eng     *Engine
+	deliver func(T)
+	ev      Event
+	// ring is a power-of-two circular buffer of pending deliveries.
+	ring []delayItem[T]
+	head int
+	n    int
+	// lastAt guards the nondecreasing-due-times contract.
+	lastAt Time
+}
+
+type delayItem[T any] struct {
+	item T
+	at   Time
+	seq  uint64
+}
+
+// NewDelayLine creates an empty delay line delivering through fn.
+func NewDelayLine[T any](e *Engine, fn func(T)) *DelayLine[T] {
+	if fn == nil {
+		panic("sim: NewDelayLine with nil deliver callback")
+	}
+	d := &DelayLine[T]{eng: e, deliver: fn}
+	d.ev.eng = e
+	d.ev.idx = -1
+	d.ev.pinned = true
+	d.ev.fn = d.fire
+	return d
+}
+
+// Len reports the number of deliveries in flight.
+func (d *DelayLine[T]) Len() int { return d.n }
+
+// Schedule enqueues item for delivery at absolute time at. Due times must
+// be nondecreasing across calls while the line is non-empty; violating that
+// (e.g. by mutating a link's propagation delay mid-run) panics rather than
+// silently reordering deliveries.
+func (d *DelayLine[T]) Schedule(item T, at Time) {
+	e := d.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: delay line delivery at %v before now %v", at, e.now))
+	}
+	if d.n > 0 && at < d.lastAt {
+		panic(fmt.Sprintf("sim: delay line due times went backwards (%v after %v)", at, d.lastAt))
+	}
+	d.lastAt = at
+	seq := e.nextSeq()
+	d.pushRing(delayItem[T]{item: item, at: at, seq: seq})
+	if d.ev.idx < 0 {
+		// Idle line (or a delivery callback scheduling into its own
+		// line): arm the standing event for the current head.
+		h := &d.ring[d.head]
+		e.pushAt(&d.ev, h.at, h.seq)
+	}
+}
+
+// fire delivers the head item and re-arms for the next one.
+func (d *DelayLine[T]) fire() {
+	it := d.popRing()
+	d.deliver(it.item)
+	if d.ev.idx < 0 && d.n > 0 {
+		h := &d.ring[d.head]
+		d.eng.pushAt(&d.ev, h.at, h.seq)
+	}
+}
+
+func (d *DelayLine[T]) pushRing(it delayItem[T]) {
+	if d.n == len(d.ring) {
+		d.grow()
+	}
+	d.ring[(d.head+d.n)&(len(d.ring)-1)] = it
+	d.n++
+}
+
+func (d *DelayLine[T]) popRing() delayItem[T] {
+	it := d.ring[d.head]
+	var zero delayItem[T]
+	d.ring[d.head] = zero // drop the item reference for the GC
+	d.head = (d.head + 1) & (len(d.ring) - 1)
+	d.n--
+	return it
+}
+
+// grow doubles the ring (power-of-two capacity keeps indexing a mask).
+func (d *DelayLine[T]) grow() {
+	newCap := 2 * len(d.ring)
+	if newCap == 0 {
+		newCap = 16
+	}
+	next := make([]delayItem[T], newCap)
+	for i := 0; i < d.n; i++ {
+		next[i] = d.ring[(d.head+i)&(len(d.ring)-1)]
+	}
+	d.ring = next
+	d.head = 0
+}

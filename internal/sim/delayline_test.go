@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+func TestDelayLineDeliversInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var when []Time
+	d := NewDelayLine(e, func(v int) { got = append(got, v); when = append(when, e.Now()) })
+	d.Schedule(1, 10)
+	d.Schedule(2, 10) // equal due time is allowed
+	d.Schedule(3, 25)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivered %v, want [1 2 3]", got)
+	}
+	if when[0] != 10 || when[1] != 10 || when[2] != 25 {
+		t.Fatalf("delivery times %v, want [10 10 25]", when)
+	}
+}
+
+func TestDelayLineScheduleDuringDelivery(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var d *DelayLine[int]
+	d = NewDelayLine(e, func(v int) {
+		got = append(got, v)
+		if v < 3 {
+			d.Schedule(v+1, e.Now()+5)
+		}
+	})
+	d.Schedule(1, 10)
+	e.Run()
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("delivered %v, want [1 2 3]", got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("finished at %v, want 20", e.Now())
+	}
+}
+
+func TestDelayLineNonmonotonicPanics(t *testing.T) {
+	e := NewEngine()
+	d := NewDelayLine(e, func(int) {})
+	d.Schedule(1, 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("nonmonotonic Schedule did not panic")
+		}
+	}()
+	d.Schedule(2, 10)
+}
+
+// Deliveries interleave with ordinary events by (time, scheduling order),
+// exactly as if each item had its own heap event — the property the sweep
+// golden digest depends on.
+func TestDelayLineFIFOWithEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	d := NewDelayLine(e, func(s string) { order = append(order, s) })
+	e.At(10, func() { order = append(order, "a") })
+	d.Schedule("x", 10)
+	e.At(10, func() { order = append(order, "b") })
+	d.Schedule("y", 10)
+	e.Run()
+	want := []string{"a", "x", "b", "y"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDelayLineSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	d := NewDelayLine(e, func(int) { n++ })
+	// Warm the ring past its steady-state occupancy.
+	for i := 0; i < 64; i++ {
+		d.Schedule(i, e.Now()+Time(i))
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(100, func() {
+		d.Schedule(0, e.Now()+10)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("DelayLine steady state allocated %.1f objects/op, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("no deliveries")
+	}
+}

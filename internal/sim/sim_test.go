@@ -185,6 +185,84 @@ func TestPendingCount(t *testing.T) {
 	}
 }
 
+// Pending counts live events only: a cancelled event may linger in the heap
+// until compaction, but it must not be reported as pending work.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after Cancel, want 1", e.Pending())
+	}
+	ev.Cancel() // idempotent: must not double-count
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after second Cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// Cancelling a large batch of events must trigger dead-event compaction, and
+// the surviving events must still fire in exactly (time, FIFO) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var cancelled []*Event
+	var fired []int
+	for i := 0; i < 500; i++ {
+		i := i
+		ev := e.At(Time(1000+i/5), func() { fired = append(fired, i) })
+		if i%2 == 1 {
+			cancelled = append(cancelled, ev)
+		}
+	}
+	for _, ev := range cancelled {
+		ev.Cancel()
+	}
+	if e.Pending() != 250 {
+		t.Fatalf("Pending = %d after mass cancel, want 250", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 250 {
+		t.Fatalf("fired %d events, want 250", len(fired))
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Fatalf("compaction broke FIFO order among equal-time events: %v", fired[:20])
+	}
+}
+
+// A steady-state self-rescheduling chain must recycle its event through the
+// pool instead of allocating a fresh one per firing.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n%100 != 0 {
+			e.After(10, tick)
+		}
+	}
+	// Each run schedules one root event that chains through 100 firings,
+	// all recycling the same pooled Event.
+	run := func() {
+		e.After(10, tick)
+		e.Run()
+	}
+	run() // seed the free list
+	if avg := testing.AllocsPerRun(5, run); avg != 0 {
+		t.Fatalf("self-rescheduling chain allocated %.1f objects/run, want 0", avg)
+	}
+	if n%100 != 0 || n == 0 {
+		t.Fatalf("chain misfired: n = %d", n)
+	}
+}
+
 // Property: for any set of scheduled times, events fire in nondecreasing
 // time order and the clock never moves backwards.
 func TestEventOrderingProperty(t *testing.T) {

@@ -17,11 +17,15 @@ type Receiver struct {
 	cfg     Config
 	account *energy.Account
 
-	rcvNxt    uint64
-	ooo       rangeSet
-	unacked   int // full segments received since last ACK
-	delack    *sim.Event
-	ceState   bool // DCTCP: CE value of the most recent segment
+	rcvNxt  uint64
+	ooo     rangeSet
+	unacked int // full segments received since last ACK
+	// delack is the delayed-ACK timer (rearmed in place, never
+	// reallocated); delackEcho is the timestamp echo captured when it was
+	// armed.
+	delack     *sim.Timer
+	delackEcho sim.Time
+	ceState    bool // DCTCP: CE value of the most recent segment
 	ecePend   bool // whether the next ACK should carry ECE
 	eceLatch  bool // classic ECN: latched until (never, in our sim) CWR
 	preciseCE bool // DCTCP-style accurate ECE feedback
@@ -40,6 +44,11 @@ type Receiver struct {
 	// rxFreeAt is when the serialized receive path becomes free; the
 	// gap to now is the ring backlog.
 	rxFreeAt sim.Time
+	// rxq defers packet processing until the serialized receive path
+	// drains. Completion times are nondecreasing (rxFreeAt only moves
+	// forward), so the backlog is FIFO: one standing event plus a ring
+	// replaces an event and closure per deferred packet.
+	rxq *sim.DelayLine[*netsim.Packet]
 	// lastINT is the most recent data packet's telemetry, echoed on the
 	// next ACK (HPCC). rxBytes counts wire bytes processed, exposed as
 	// the NIC hop's transmit counter.
@@ -69,6 +78,8 @@ func NewReceiver(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, src 
 		account:   account,
 		preciseCE: preciseCE,
 	}
+	r.delack = engine.NewTimer(r.onDelAck)
+	r.rxq = sim.NewDelayLine(engine, r.process)
 	host.Attach(flow, netsim.HandlerFunc(r.handleData))
 	return r
 }
@@ -98,7 +109,7 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 		}
 		r.rxFreeAt += r.cfg.RxPathCost
 		if done := r.rxFreeAt; done > now {
-			r.engine.At(done, func() { r.process(p) })
+			r.rxq.Schedule(p, done)
 			return
 		}
 	}
@@ -246,22 +257,21 @@ func (r *Receiver) sackBlocks(max int) []byteRange {
 }
 
 func (r *Receiver) armDelAck(echo sim.Time) {
-	if r.delack != nil {
+	if r.delack.Armed() {
 		return
 	}
-	r.delack = r.engine.After(r.cfg.DelAckTimeout, func() {
-		r.delack = nil
-		if r.unacked > 0 {
-			r.sendAck(echo)
-		}
-	})
+	r.delackEcho = echo
+	r.delack.Reset(r.cfg.DelAckTimeout)
+}
+
+func (r *Receiver) onDelAck() {
+	if r.unacked > 0 {
+		r.sendAck(r.delackEcho)
+	}
 }
 
 func (r *Receiver) sendAck(echo sim.Time) {
-	if r.delack != nil {
-		r.delack.Cancel()
-		r.delack = nil
-	}
+	r.delack.Stop()
 	r.unacked = 0
 	ack := &netsim.Packet{
 		Flow:     r.flow,

@@ -82,12 +82,15 @@ type Sender struct {
 	// like a real stack's immediate fast retransmit.
 	fastRetxPending bool
 
-	rtoTimer   *sim.Event
+	// The three sender timers cancel-and-rearm on nearly every ACK, so
+	// they are rearmable Timers (one pinned event each, pre-bound
+	// callbacks) rather than fresh Event+closure pairs per arm.
+	rtoTimer   *sim.Timer
 	rtoBackoff uint
-	tlpTimer   *sim.Event
+	tlpTimer   *sim.Timer
 	tlpArmedAt uint64 // delivered count when the probe was armed
 
-	sendTimer  *sim.Event
+	sendTimer  *sim.Timer
 	nextSendAt sim.Time
 
 	started bool
@@ -129,6 +132,9 @@ func NewSender(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, dst ne
 	if ic, ok := cc.(cca.INTConsumer); ok && ic.NeedsINT() {
 		s.wantsINT = true
 	}
+	s.rtoTimer = engine.NewTimer(s.onRTO)
+	s.tlpTimer = engine.NewTimer(s.onTLP)
+	s.sendTimer = engine.NewTimer(s.trySend)
 	host.Attach(flow, netsim.HandlerFunc(s.handleAck))
 	return s
 }
@@ -520,7 +526,7 @@ func (s *Sender) transmit(sg *segment, now sim.Time, retx bool) {
 	}
 	s.account.SentData(retx, int(s.sndNxt-s.sndUna))
 	s.host.Send(p)
-	if s.rtoTimer == nil {
+	if !s.rtoTimer.Armed() {
 		s.armRTO()
 	}
 
@@ -549,13 +555,10 @@ func (s *Sender) transmit(sg *segment, now sim.Time, retx bool) {
 }
 
 func (s *Sender) armSendTimer() {
-	if s.sendTimer != nil {
+	if s.sendTimer.Armed() {
 		return
 	}
-	s.sendTimer = s.engine.At(s.nextSendAt, func() {
-		s.sendTimer = nil
-		s.trySend()
-	})
+	s.sendTimer.ResetAt(s.nextSendAt)
 }
 
 // --- timers ---
@@ -567,14 +570,12 @@ func (s *Sender) armSendTimer() {
 // highest outstanding segment after ~2·SRTT, which elicits the SACK
 // feedback normal recovery needs.
 func (s *Sender) armTLP() {
-	if s.tlpTimer != nil {
-		s.tlpTimer.Cancel()
-		s.tlpTimer = nil
-	}
 	if s.done || s.pipe == 0 || len(s.retxQueue) > 0 {
+		s.tlpTimer.Stop()
 		return
 	}
 	if s.sndNxt < s.totalBytes && s.pipe >= 4*s.mss {
+		s.tlpTimer.Stop()
 		return // enough in flight for dupACK-based detection
 	}
 	pto := 2 * s.rtt.srtt
@@ -585,11 +586,10 @@ func (s *Sender) armTLP() {
 		pto = 5 * sim.Millisecond
 	}
 	s.tlpArmedAt = s.delivered
-	s.tlpTimer = s.engine.After(pto, s.onTLP)
+	s.tlpTimer.Reset(pto)
 }
 
 func (s *Sender) onTLP() {
-	s.tlpTimer = nil
 	if s.done || s.pipe == 0 || s.delivered != s.tlpArmedAt {
 		return // progress happened; no probe needed
 	}
@@ -610,11 +610,8 @@ func (s *Sender) onTLP() {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
 	if s.pipe == 0 && len(s.retxQueue) == 0 && s.sndUna >= s.totalBytes {
+		s.rtoTimer.Stop()
 		return
 	}
 	// Clamp to the floor first, then apply exponential backoff, so each
@@ -627,11 +624,10 @@ func (s *Sender) armRTO() {
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.rtoTimer = s.engine.After(d, s.onRTO)
+	s.rtoTimer.Reset(d)
 }
 
 func (s *Sender) onRTO() {
-	s.rtoTimer = nil
 	if s.done {
 		return
 	}
@@ -665,18 +661,9 @@ func (s *Sender) onRTO() {
 func (s *Sender) complete(now sim.Time) {
 	s.done = true
 	s.CompletedAt = now
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
-	if s.sendTimer != nil {
-		s.sendTimer.Cancel()
-		s.sendTimer = nil
-	}
-	if s.tlpTimer != nil {
-		s.tlpTimer.Cancel()
-		s.tlpTimer = nil
-	}
+	s.rtoTimer.Stop()
+	s.sendTimer.Stop()
+	s.tlpTimer.Stop()
 	s.host.Detach(s.flow)
 	if s.OnComplete != nil {
 		s.OnComplete()

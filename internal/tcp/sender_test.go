@@ -89,8 +89,11 @@ func TestSenderCompletionCallback(t *testing.T) {
 	if h.snd.FCT() != 50*sim.Microsecond {
 		t.Fatalf("FCT = %v", h.snd.FCT())
 	}
-	if h.engine.Pending() != 0 && h.snd.rtoTimer != nil {
+	if h.snd.rtoTimer.Armed() || h.snd.tlpTimer.Armed() || h.snd.sendTimer.Armed() {
 		t.Fatal("timers leaked after completion")
+	}
+	if h.engine.Pending() != 0 {
+		t.Fatalf("Pending = %d after completion, want 0", h.engine.Pending())
 	}
 }
 
