@@ -8,23 +8,8 @@ import (
 	"testing"
 )
 
-// fig5GoldenDigest is the SHA-256 over every measurement in the reduced-scale
-// Figure-5 sweep at seed 1. It pins the simulator's determinism across
-// refactors: the event engine, timers, queues and delay lines may be
-// rewritten freely, but same-seed results must stay bit-identical. The
-// constant was captured on the pre-optimization container/heap engine
-// (PR 2), so it also proves the allocation-free engine reproduces the
-// original event ordering exactly.
-//
-// If a PR changes simulation *behaviour* on purpose (new CCA dynamics, cost
-// model changes, ...), regenerate with:
-//
-//	go test -run TestFig5SweepGoldenDigest -v
-//
-// and update the constant in the same commit, explaining why in CHANGES.md.
-// Never update it to paper over an unexplained mismatch: that is the test
-// catching a determinism bug.
-const fig5GoldenDigest = "4d48a93ef9514caf8c8444854133d31f2d7ab1cb1038230be0dcb2d7268e753a"
+// The golden digest constant (fig5GoldenDigest) lives in version.go because
+// it doubles as the persistent result cache's simulator version stamp.
 
 // digestOpts is the reduced-scale sweep the digest covers: 50 MB per run,
 // 2 repetitions of every (CCA, MTU) cell. Workers is left at the default;

@@ -83,6 +83,58 @@ func TestSweepTablesRenderAllCells(t *testing.T) {
 	}
 }
 
+// TestSweepKeyAuditsOptionsFields is the in-memory sweep cache's key audit:
+// every Options field must be explicitly classified as result-affecting
+// (it changes the computed SweepResult, so it MUST change sweepKey) or
+// exempt (it only changes wall-clock, logging, or persistence, so it must
+// NOT change sweepKey — splitting the cache on it would duplicate work).
+// A field added to Options without a classification here fails the test,
+// so a future result-affecting knob cannot silently poison the cache.
+func TestSweepKeyAuditsOptionsFields(t *testing.T) {
+	// Mutators produce a value different from base in exactly one field.
+	resultAffecting := map[string]func(*Options){
+		"Reps":  func(o *Options) { o.Reps++ },
+		"Scale": func(o *Options) { o.Scale /= 2 },
+		"Seed":  func(o *Options) { o.Seed++ },
+	}
+	exempt := map[string]func(*Options){
+		"Workers":  func(o *Options) { o.Workers++ },
+		"Verbose":  func(o *Options) { o.Verbose = !o.Verbose },
+		"CacheDir": func(o *Options) { o.CacheDir += "/elsewhere" },
+		"NoCache":  func(o *Options) { o.NoCache = !o.NoCache },
+	}
+
+	rt := reflect.TypeOf(Options{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		_, ra := resultAffecting[name]
+		_, ex := exempt[name]
+		if ra == ex {
+			t.Fatalf("Options.%s is not classified (or doubly classified) in the sweep key audit: "+
+				"decide whether it affects results and add it to exactly one map", name)
+		}
+	}
+	if rt.NumField() != len(resultAffecting)+len(exempt) {
+		t.Fatalf("audit lists %d fields, Options has %d", len(resultAffecting)+len(exempt), rt.NumField())
+	}
+
+	base := Options{Reps: 2, Scale: 0.01, Seed: 5, Workers: 2, CacheDir: "somewhere"}
+	for name, mutate := range resultAffecting {
+		o := base
+		mutate(&o)
+		if sweepKey(o) == sweepKey(base) {
+			t.Errorf("result-affecting field %s does not enter the sweep cache key", name)
+		}
+	}
+	for name, mutate := range exempt {
+		o := base
+		mutate(&o)
+		if sweepKey(o) != sweepKey(base) {
+			t.Errorf("exempt field %s enters the sweep cache key (needless cache splits)", name)
+		}
+	}
+}
+
 // TestSweepParallelMatchesSerial is the determinism regression test for the
 // worker-pool executor: the same Options must produce a byte-identical
 // SweepResult (same cell order, same float values) at Workers 1 and 8.

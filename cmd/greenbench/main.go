@@ -10,6 +10,13 @@
 //	greenbench -fig scheduler    # §5 SRPT-vs-fair scheduler comparison
 //	greenbench -fig 5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                             # profile a run; inspect with `go tool pprof`
+//
+// Results are memoized per (experiment cell, repetition) in a persistent
+// content-addressed cache (default: the per-user cache directory), so
+// regenerating a figure after a plotting change replays from disk instead
+// of simulating. `-no-cache` bypasses it, `-cache-clear` empties it first,
+// and a `cache: hits=… misses=…` summary is printed to stderr after runs
+// that touch simulation.
 package main
 
 import (
@@ -31,6 +38,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "concurrent simulator runs per experiment (0 = all CPUs, 1 = serial; results are identical either way)")
 		quiet      = flag.Bool("q", false, "suppress progress lines")
+		cacheDir   = flag.String("cache-dir", greenenvy.DefaultCacheDir(), "persistent result cache directory (empty disables persistence)")
+		noCache    = flag.Bool("no-cache", false, "bypass the persistent result cache (force full recomputation)")
+		cacheClear = flag.Bool("cache-clear", false, "empty the cache directory before running")
 		svgDir     = flag.String("svg", "", "also write figure SVGs into this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (view with `go tool pprof`)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -51,8 +61,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	o := greenenvy.Options{Reps: *reps, Scale: *scale, Seed: *seed, Workers: *workers, Verbose: !*quiet}
+	if *cacheClear && *cacheDir != "" {
+		if err := greenenvy.ClearCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cleared cache %s\n", *cacheDir)
+	}
+
+	o := greenenvy.Options{
+		Reps: *reps, Scale: *scale, Seed: *seed, Workers: *workers,
+		CacheDir: *cacheDir, NoCache: *noCache, Verbose: !*quiet,
+	}
 	err := run(*fig, o, *svgDir)
+	printCacheStats(*cacheDir, *noCache)
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -78,6 +100,24 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// printCacheStats reports the persistent cache's accounting for this
+// invocation on stderr: how many per-repetition results were replayed from
+// disk versus simulated. Silent when the cache is disabled or untouched
+// (analytic-only figures never consult it).
+func printCacheStats(dir string, noCache bool) {
+	if dir == "" || noCache {
+		return
+	}
+	st := greenenvy.CacheStatsFor(dir)
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d (%.0f%% hits), %.1f KiB read, %.1f KiB written (%s)\n",
+		st.Hits, st.Misses, float64(st.Hits)/float64(total)*100,
+		float64(st.BytesRead)/1024, float64(st.BytesWritten)/1024, dir)
 }
 
 // svgResult is implemented by results that can render themselves.

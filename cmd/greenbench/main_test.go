@@ -74,6 +74,32 @@ func TestRunFigureWithSVG(t *testing.T) {
 	}
 }
 
+// TestRunWarmCacheReplaysFromDisk drives the same end-to-end path the CI
+// cache-smoke job exercises: a figure run twice against one cache directory
+// must replay every entry on the second pass.
+func TestRunWarmCacheReplaysFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	dir := t.TempDir()
+	o := fastOpts()
+	o.CacheDir = dir
+	if err := run("3", o, ""); err != nil {
+		t.Fatal(err)
+	}
+	cold := greenenvy.CacheStatsFor(dir)
+	if cold.Misses == 0 || cold.Hits != 0 || cold.Puts != cold.Misses {
+		t.Fatalf("cold run stats %+v, want only misses+puts", cold)
+	}
+	if err := run("3", o, ""); err != nil {
+		t.Fatal(err)
+	}
+	warm := greenenvy.CacheStatsFor(dir)
+	if warm.Hits != cold.Misses || warm.Misses != cold.Misses {
+		t.Fatalf("second run not fully warm: cold %+v, warm %+v", cold, warm)
+	}
+}
+
 func TestGbpsHelper(t *testing.T) {
 	out := gbps([]float64{5e9, 10e9})
 	if out[0] != 5 || out[1] != 10 {

@@ -64,6 +64,8 @@ var benchmarks = []struct {
 	{"LinkPureAck", perf.BenchLinkPureAck},
 	{"DropTailQueue", perf.BenchDropTailQueue},
 	{"DRRQueue", perf.BenchDRRQueue},
+	{"SweepCacheWarm", perf.BenchSweepCacheWarm},
+	{"SweepCacheCold", perf.BenchSweepCacheCold},
 	{"DumbbellTransfer", perf.BenchDumbbellTransfer},
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"greenenvy/internal/cache"
 	"greenenvy/internal/sim"
 	"greenenvy/internal/testbed"
 )
@@ -27,6 +28,17 @@ type Options struct {
 	// are byte-identical for every worker count; only wall-clock time
 	// changes. Default runtime.GOMAXPROCS(0); 1 forces the serial path.
 	Workers int
+	// CacheDir, when set, enables the persistent content-addressed result
+	// cache: every (experiment cell, repetition) simulation result is
+	// memoized on disk keyed by its result-affecting inputs plus the
+	// simulator version stamp (see cacheVersionStamp), so repeated runs —
+	// same or higher Reps, any Workers — replay from disk instead of
+	// simulating, with byte-identical results. Empty disables persistence
+	// (the in-process sweep cache still applies).
+	CacheDir string
+	// NoCache bypasses the persistent cache even when CacheDir is set:
+	// nothing is read from or written to disk, forcing full recomputation.
+	NoCache bool
 	// Verbose, when set, makes runners print progress lines.
 	Verbose bool
 }
@@ -75,12 +87,29 @@ func deadlineFor(bytes uint64) sim.Duration {
 // repeatRuns centralizes the repetition loop with derived seeds, fanned out
 // over Options.Workers goroutines. Each repetition builds and runs its own
 // testbed, so build must not capture state shared across repetitions.
-func repeatRuns(o Options, build func(seed uint64) (*testbed.Testbed, error), deadline sim.Duration) ([]testbed.RunResult, error) {
+//
+// id names the experiment cell for the persistent cache and must encode
+// every result-affecting parameter that the per-repetition seed does not
+// already capture (transfer bytes, rates, loads, topology, CCA, MTU, ...).
+// Two call sites with the same id and seed MUST build identical testbeds.
+func repeatRuns(o Options, id string, build func(seed uint64) (*testbed.Testbed, error), deadline sim.Duration) ([]testbed.RunResult, error) {
+	store := o.cacheStore()
 	return testbed.RepeatParallel(o.Reps, o.Seed, o.Workers, func(rep int, seed uint64) (testbed.RunResult, error) {
+		key := cache.NewKey("run", id, seed)
+		var cached testbed.RunResult
+		if store.Get(key, &cached) {
+			return cached, nil
+		}
 		tb, err := build(seed)
 		if err != nil {
 			return testbed.RunResult{}, err
 		}
-		return tb.Run(deadline)
+		r, err := tb.Run(deadline)
+		if err == nil {
+			// Best-effort: a full disk or unwritable store must not
+			// fail the experiment, only future warm starts.
+			_ = store.Put(key, r)
+		}
+		return r, err
 	})
 }

@@ -56,7 +56,8 @@ func RunIncast(o Options) (IncastResult, error) {
 	for _, n := range []int{2, 4, 8, 16} {
 		per := totalBytes / uint64(n)
 		run := func(serial bool) (float64, float64, error) {
-			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+			id := fmt.Sprintf("incast/n=%d/serial=%t/per=%d", n, serial, per)
+			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Senders: n, UseDRR: !serial, Seed: seed})
 				var prev *iperf.Client
 				for i := 0; i < n; i++ {
@@ -157,7 +158,8 @@ func RunSameSender(o Options) (SameSenderResult, error) {
 	bytes := uint64(10 * paperGbit * o.Scale)
 
 	run := func(senders int, serial bool) (float64, error) {
-		runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+		id := fmt.Sprintf("samesender/senders=%d/serial=%t/bytes=%d", senders, serial, bytes)
+		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Senders: senders, UseDRR: !serial, Seed: seed})
 			host2 := 0
 			if senders == 2 {

@@ -73,7 +73,8 @@ func RunFig1(o Options) (Fig1Result, error) {
 
 	deadline := deadlineFor(2 * bytes)
 	for _, f := range fractions {
-		runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+		id := fmt.Sprintf("fig1/frac=%.2f/bytes=%d", f, bytes)
+		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Senders: 2, UseDRR: f < 1.0, Seed: seed})
 			c1, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic"})
 			if err != nil {

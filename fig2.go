@@ -56,7 +56,8 @@ func RunFig2(o Options) (Fig2Result, error) {
 	rates := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	for _, gbps := range rates {
 		bytes := uint64(gbps * 1e9 / 8 * hold)
-		runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+		id := fmt.Sprintf("fig2/target=%g/bytes=%d", gbps, bytes)
+		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Seed: seed})
 			_, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic", TargetBps: int64(gbps * 1e9)})
 			return tb, err

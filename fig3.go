@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"greenenvy/internal/cache"
 	"greenenvy/internal/iperf"
 	"greenenvy/internal/netsim"
 	"greenenvy/internal/sim"
@@ -33,7 +34,15 @@ func RunFig3(o Options) (Fig3Result, error) {
 	bytes := uint64(10 * paperGbit * o.Scale)
 	res := Fig3Result{FlowGbit: float64(bytes) * 8 / 1e9}
 
+	store := o.cacheStore()
 	trace := func(serial bool) ([]Fig3Sample, error) {
+		// Traces are not RunResults, so they get their own cached value
+		// type; the key carries the scenario, size, and seed.
+		key := cache.NewKey("fig3/trace", serial, bytes, o.Seed)
+		var cached []Fig3Sample
+		if store.Get(key, &cached) {
+			return cached, nil
+		}
 		tb := testbed.New(testbed.Options{Senders: 2, UseDRR: !serial, Seed: o.Seed})
 		c1, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic"})
 		if err != nil {
@@ -57,7 +66,9 @@ func RunFig3(o Options) (Fig3Result, error) {
 		if _, err := tb.Run(deadlineFor(2 * bytes)); err != nil {
 			return nil, err
 		}
-		return mergeSeries(tb.Monitor.Series(f1), tb.Monitor.Series(f2)), nil
+		samples := mergeSeries(tb.Monitor.Series(f1), tb.Monitor.Series(f2))
+		_ = store.Put(key, samples)
+		return samples, nil
 	}
 
 	var err error

@@ -57,7 +57,8 @@ func RunFig4(o Options) (Fig4Result, error) {
 	for _, load := range loads {
 		for _, gbps := range rates {
 			bytes := uint64(gbps * 1e9 / 8 * hold)
-			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+			id := fmt.Sprintf("fig4/load=%g/target=%g/bytes=%d", load, gbps, bytes)
+			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed})
 				if err := tb.AddLoad(0, load); err != nil {
 					return nil, err
@@ -84,7 +85,8 @@ func RunFig4(o Options) (Fig4Result, error) {
 	targets := map[float64]string{0: "~16%", 0.25: "~1%", 0.50: "(not quoted)", 0.75: "~0.17%"}
 	for _, load := range loads {
 		energy := func(serial bool) (float64, error) {
-			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+			id := fmt.Sprintf("fig4/savings/load=%g/serial=%t/bytes=%d", load, serial, bytes)
+			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Senders: 2, UseDRR: !serial, Seed: seed})
 				for i := 0; i < 2; i++ {
 					if err := tb.AddLoad(i, load); err != nil {

@@ -1,0 +1,14 @@
+package cache_test
+
+import (
+	"testing"
+
+	"greenenvy/internal/perf"
+)
+
+// The bodies live in internal/perf (an external test package here avoids
+// the cache → perf → cache import cycle) so cmd/simbench can record the
+// same numbers into BENCH_sim.json.
+
+func BenchmarkSweepCacheWarm(b *testing.B) { perf.BenchSweepCacheWarm(b) }
+func BenchmarkSweepCacheCold(b *testing.B) { perf.BenchSweepCacheCold(b) }

@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// payload is a representative result shape: nested struct, slices, floats.
+type payload struct {
+	Name   string
+	Seed   uint64
+	Values []float64
+	Nested struct{ A, B int }
+	Ratio  float64
+}
+
+func samplePayload() payload {
+	p := payload{Name: "cubic/1500", Seed: 0xdeadbeef, Values: []float64{1.5, 2.25, -0.125}, Ratio: 0.75}
+	p.Nested.A, p.Nested.B = 7, 42
+	return p
+}
+
+func mustOpen(t *testing.T, dir, version string) *Store {
+	t.Helper()
+	s, err := Open(dir, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "v1")
+	key := NewKey("exp", uint64(1), 1500)
+	want := samplePayload()
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !s.Get(key, &got) {
+		t.Fatal("fresh entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mangled value:\n got %+v\nwant %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 0 misses / 1 put", st)
+	}
+	if st.BytesRead == 0 || st.BytesWritten == 0 || st.BytesRead != st.BytesWritten {
+		t.Fatalf("byte accounting %+v", st)
+	}
+}
+
+func TestAbsentKeyMisses(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "v1")
+	var got payload
+	if s.Get(NewKey("never-stored"), &got) {
+		t.Fatal("absent key hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 miss", st)
+	}
+}
+
+// TestNilStore: a nil *Store must behave as a disabled cache, not panic.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	if s.Get(NewKey("x"), &payload{}) {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put(NewKey("x"), samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats %+v", st)
+	}
+	if s.Dir() != "" {
+		t.Fatal("nil store dir")
+	}
+}
+
+// entryFiles lists every entry file under the store.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) == ".gob" {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTruncatedEntryIsAMiss: a crash that truncates an entry (or a partial
+// copy) must fall back to recompute, not error or return garbage.
+func TestTruncatedEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "v1")
+	key := NewKey("trunc")
+	if err := s.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, found %v", files)
+	}
+	for _, n := range []int64{0, 3, int64(envHeaderLen) - 1, int64(envHeaderLen) + 2} {
+		if err := os.Truncate(files[0], n); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if s.Get(key, &got) {
+			t.Fatalf("entry truncated to %d bytes still hit", n)
+		}
+	}
+	// Recompute path: overwriting the damaged entry restores it.
+	if err := s.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !s.Get(key, &got) {
+		t.Fatal("rewritten entry missed")
+	}
+}
+
+// TestCorruptedEntryIsAMiss: bit rot anywhere in the payload must be caught
+// by the checksum and treated as a miss.
+func TestCorruptedEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "v1")
+	key := NewKey("corrupt")
+	if err := s.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	file := entryFiles(t, dir)[0]
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the payload, one in the checksum, one in the magic.
+	for _, i := range []int{len(data) - 1, len(envMagic) + 8 + 1, 0} {
+		mangled := append([]byte(nil), data...)
+		mangled[i] ^= 0x40
+		if err := os.WriteFile(file, mangled, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if s.Get(key, &got) {
+			t.Fatalf("entry with byte %d flipped still hit", i)
+		}
+	}
+}
+
+// TestVersionMismatchIsAMiss: a store opened with a different version stamp
+// must not see entries written under the old stamp, and the old stamp's
+// entries must survive untouched.
+func TestVersionMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := NewKey("versioned")
+	v1 := mustOpen(t, dir, "sim-digest-aaaa")
+	if err := v1.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	v2 := mustOpen(t, dir, "sim-digest-bbbb")
+	var got payload
+	if v2.Get(key, &got) {
+		t.Fatal("version-mismatched entry hit")
+	}
+	// The new version writes its own entry; both coexist.
+	if err := v2.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Get(key, &got) || !v1.Get(key, &got) {
+		t.Fatal("entries under distinct stamps should coexist")
+	}
+	if len(entryFiles(t, dir)) != 2 {
+		t.Fatalf("expected 2 entry files, found %v", entryFiles(t, dir))
+	}
+}
+
+// TestConcurrentWriters: many goroutines putting and getting the same and
+// distinct keys concurrently must never error, corrupt an entry, or let a
+// reader observe a torn write (run under -race in CI).
+func TestConcurrentWriters(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "v1")
+	const (
+		workers = 8
+		keys    = 4
+		rounds  = 20
+	)
+	want := make([]payload, keys)
+	for k := range want {
+		want[k] = samplePayload()
+		want[k].Seed = uint64(k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				key := NewKey("concurrent", k)
+				if err := s.Put(key, want[k]); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				var got payload
+				if s.Get(key, &got) && !reflect.DeepEqual(got, want[k]) {
+					t.Errorf("worker %d observed torn/mixed entry: %+v", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := range want {
+		var got payload
+		if !s.Get(NewKey("concurrent", k), &got) {
+			t.Fatalf("key %d missing after concurrent writes", k)
+		}
+		if !reflect.DeepEqual(got, want[k]) {
+			t.Fatalf("key %d corrupted: %+v", k, got)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "v1")
+	key := NewKey("cleared")
+	if err := s.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if s.Get(key, &got) {
+		t.Fatal("entry survived Clear")
+	}
+	// Store stays usable after Clear.
+	if err := s.Put(key, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(key, &got) {
+		t.Fatal("store unusable after Clear")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", "v1"); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestKeyDerivation pins the anti-collision properties NewKey promises.
+func TestKeyDerivation(t *testing.T) {
+	if NewKey("ab", "c") == NewKey("a", "bc") {
+		t.Fatal("concatenation collision")
+	}
+	if NewKey("a") == NewKey([]byte("a")) {
+		t.Fatal("type tag ignored for string vs []byte")
+	}
+	if NewKey(uint64(1)) == NewKey(1) {
+		t.Fatal("type tag ignored for uint64 vs int")
+	}
+	if NewKey(float64(1)) == NewKey(uint64(math.Float64bits(1))) {
+		t.Fatal("type tag ignored for float64 vs uint64")
+	}
+	if NewKey(true) == NewKey(false) {
+		t.Fatal("bools collide")
+	}
+	if NewKey("same", 1, 2.5) != NewKey("same", 1, 2.5) {
+		t.Fatal("key derivation is not stable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unhashable part did not panic")
+		}
+	}()
+	NewKey(struct{}{})
+}

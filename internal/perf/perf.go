@@ -13,8 +13,10 @@
 package perf
 
 import (
+	"os"
 	"testing"
 
+	"greenenvy/internal/cache"
 	"greenenvy/internal/iperf"
 	"greenenvy/internal/netsim"
 	"greenenvy/internal/sim"
@@ -134,6 +136,88 @@ func BenchDRRQueue(b *testing.B) {
 		q.Enqueue(pkts[i%4])
 		q.Dequeue()
 	}
+}
+
+// cacheSampleResult is a realistically-shaped testbed.RunResult for the
+// persistent-cache benchmarks: one flow with a handful of reporting
+// intervals, the payload a CCA-sweep cell repetition stores.
+func cacheSampleResult() testbed.RunResult {
+	rep := iperf.Report{
+		Flow: 1, CCA: "cubic", MTU: 1500, Bytes: 50_000_000,
+		Start: 0, End: 4_200_000_000, Seconds: 4.2, Bps: 9.5e9,
+		Retransmits: 17, DataSent: 50_100_000,
+	}
+	for i := 0; i < 42; i++ {
+		rep.Intervals = append(rep.Intervals, iperf.IntervalStat{
+			Start: sim.Time(i) * sim.Time(100*sim.Millisecond),
+			End:   sim.Time(i+1) * sim.Time(100*sim.Millisecond),
+			Bytes: 1_190_000, Bps: 9.52e9, Retransmits: uint64(i % 2),
+		})
+	}
+	return testbed.RunResult{
+		Reports:         []iperf.Report{rep},
+		SenderEnergyJ:   []float64{812.5},
+		ReceiverEnergyJ: 798.25,
+		TotalSenderJ:    812.5,
+		Duration:        4_200_000_000,
+		AvgSenderPowerW: 193.45,
+		Retransmits:     17,
+		BottleneckStats: netsim.QueueStats{EnqueuedPackets: 34257, DroppedPackets: 17, MaxBytes: 1 << 20},
+	}
+}
+
+// benchCacheStore builds a throwaway store for the cache benchmarks; the
+// caller must defer cleanup().
+func benchCacheStore(b *testing.B) (s *cache.Store, cleanup func()) {
+	dir, err := os.MkdirTemp("", "greenenvy-bench-cache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err = cache.Open(dir, "bench-stamp")
+	if err != nil {
+		os.RemoveAll(dir)
+		b.Fatal(err)
+	}
+	return s, func() { os.RemoveAll(dir) }
+}
+
+// BenchSweepCacheWarm measures the warm-lookup path of the persistent
+// result cache: key derivation plus decoding one cached sweep-cell
+// repetition from disk. This is the per-repetition cost a fully warm
+// `greenbench -fig all` pays instead of a simulation run.
+func BenchSweepCacheWarm(b *testing.B) {
+	s, cleanup := benchCacheStore(b)
+	defer cleanup()
+	key := cache.NewKey("sweep", "cubic", 1500, uint64(50_000_000), uint64(0x9e3779b97f4a7c15))
+	if err := s.Put(key, cacheSampleResult()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out testbed.RunResult
+		if !s.Get(key, &out) {
+			b.Fatal("warm lookup missed")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchSweepCacheCold measures the cold-lookup (miss) path: key derivation
+// plus the failed stat/read of an absent entry — the overhead the cache
+// adds to every first-time repetition before it simulates.
+func BenchSweepCacheCold(b *testing.B) {
+	s, cleanup := benchCacheStore(b)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out testbed.RunResult
+		if s.Get(cache.NewKey("sweep", "cubic", 1500, uint64(50_000_000), uint64(i)), &out) {
+			b.Fatal("absent key hit")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
 // BenchDumbbellTransfer runs a complete 25 MB cubic transfer across the

@@ -26,9 +26,9 @@ type Receiver struct {
 	delack     *sim.Timer
 	delackEcho sim.Time
 	ceState    bool // DCTCP: CE value of the most recent segment
-	ecePend   bool // whether the next ACK should carry ECE
-	eceLatch  bool // classic ECN: latched until (never, in our sim) CWR
-	preciseCE bool // DCTCP-style accurate ECE feedback
+	ecePend    bool // whether the next ACK should carry ECE
+	eceLatch   bool // classic ECN: latched until (never, in our sim) CWR
+	preciseCE  bool // DCTCP-style accurate ECE feedback
 
 	// recent holds representative sequence numbers of the most recently
 	// updated out-of-order ranges, newest first, for RFC 2018-compliant

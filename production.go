@@ -49,7 +49,8 @@ func RunProduction(o Options) (ProductionResult, error) {
 	for _, name := range productionSet() {
 		for _, mtu := range []int{1500, 9000} {
 			cell := ProductionCell{CCA: name, MTU: mtu}
-			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+			id := fmt.Sprintf("production/%s/mtu=%d/bytes=%d", name, mtu, bytes)
+			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed, MarkBytes: 100 << 10})
 				_, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: name, Config: tcp.Config{MTU: mtu}})
 				return tb, err

@@ -59,7 +59,8 @@ func RunWorkload(o Options) (WorkloadResult, error) {
 		for _, load := range []float64{0.2, 0.5, 0.8} {
 			var energies, gbs, powers []float64
 			var meanFCTs, p99FCTs []float64
-			runs, err := repeatRuns(o, func(seed uint64) (*testbed.Testbed, error) {
+			id := fmt.Sprintf("workload/%s/load=%g/window=%d", dist.Name(), load, int64(window))
+			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				rng := sim.NewRNG(seed)
 				flows, err := workload.Generate(rng, dist, load, 10e9, window)
 				if err != nil {
