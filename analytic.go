@@ -1,0 +1,172 @@
+package greenenvy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file hosts the analytic (closed-form) experiments: Theorem 1
+// verification, the §5 SRPT-vs-fair scheduler comparison, and the
+// fairness/energy frontier. They derive everything from the calibrated
+// power curve without touching the simulator, but register on the same
+// harness as the measured figures so greenbench and the registry tests
+// treat them uniformly. Their tables reproduce the reports greenbench used
+// to assemble inline, byte for byte.
+
+// TheoremCase is one allocation checked against Theorem 1.
+type TheoremCase struct {
+	// Y is the checked allocation in bits/s per flow.
+	Y []float64
+	// FairW and UnfairW are the aggregate powers of the fair split and of
+	// Y under the calibrated curve.
+	FairW, UnfairW float64
+	// Holds reports FairW > UnfairW, as the theorem predicts.
+	Holds bool
+}
+
+// TheoremResult verifies Theorem 1 — the fair share is the least
+// energy-efficient allocation — on the calibrated power curve.
+type TheoremResult struct {
+	// StrictlyConcave reports whether the curve satisfies the theorem's
+	// hypothesis on [0, 10 Gb/s].
+	StrictlyConcave bool
+	Cases           []TheoremCase
+}
+
+// RunTheorem checks the theorem's hypothesis and a spread of allocations.
+func RunTheorem(o Options) (TheoremResult, error) {
+	if _, err := o.withDefaults(); err != nil {
+		return TheoremResult{}, err
+	}
+	p := PaperPowerFunc()
+	res := TheoremResult{StrictlyConcave: IsStrictlyConcave(p, 10e9, 1000)}
+	for _, y := range [][]float64{{10e9, 0}, {7.5e9, 2.5e9}, {6e9, 4e9}, {4e9, 3e9, 3e9}} {
+		fair, yp, holds, err := CheckTheorem1(p, 10e9, y)
+		if err != nil {
+			return TheoremResult{}, err
+		}
+		res.Cases = append(res.Cases, TheoremCase{Y: y, FairW: fair, UnfairW: yp, Holds: holds})
+	}
+	return res, nil
+}
+
+// Table renders the theorem verification report.
+func (r TheoremResult) Table() string {
+	out := "Theorem 1 — fair share is the least energy-efficient allocation\n"
+	out += fmt.Sprintf("curve strictly concave on [0, 10G]: %v\n", r.StrictlyConcave)
+	for _, c := range r.Cases {
+		out += fmt.Sprintf("  y=%v Gb/s: P(fair)=%.2f W > P(y)=%.2f W  holds=%v\n", gbps(c.Y), c.FairW, c.UnfairW, c.Holds)
+	}
+	return out
+}
+
+// SVG renders the report as a text panel.
+func (r TheoremResult) SVG() (string, error) { return textPanel(r.Table()) }
+
+// gbps converts a bits/s allocation to Gb/s for display.
+func gbps(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = v / 1e9
+	}
+	return out
+}
+
+// SchedulerResult is the §5 energy-aware SRPT scheduler comparison.
+type SchedulerResult struct {
+	// Comparison holds the processor-sharing vs SRPT energies and FCTs.
+	Comparison Comparison
+	// DatacenterUSDPerYear extrapolates the saving to the paper's
+	// 100k-rack datacenter.
+	DatacenterUSDPerYear float64
+}
+
+// RunScheduler compares the energy-aware SRPT scheduler against processor
+// sharing for two 10-Gbit flows on the calibrated curve.
+func RunScheduler(o Options) (SchedulerResult, error) {
+	if _, err := o.withDefaults(); err != nil {
+		return SchedulerResult{}, err
+	}
+	p := PaperPowerFunc()
+	flows := []Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
+	c, err := CompareSchedulers(flows, 10e9, p)
+	if err != nil {
+		return SchedulerResult{}, err
+	}
+	usd, err := PaperDatacenter().YearlySavingsUSD(c.SavingFrac)
+	if err != nil {
+		return SchedulerResult{}, err
+	}
+	return SchedulerResult{Comparison: c, DatacenterUSDPerYear: usd}, nil
+}
+
+// Table renders the scheduler comparison report.
+func (r SchedulerResult) Table() string {
+	c := r.Comparison
+	out := "§5 — energy-aware SRPT scheduler vs processor sharing (2× 10 Gbit flows)\n"
+	out += fmt.Sprintf("  fair energy  %.1f J   SRPT energy %.1f J   saving %.1f%%\n", c.PSEnergyJ, c.SRPTEnergyJ, c.SavingFrac*100)
+	out += fmt.Sprintf("  fair mean FCT %.2f s  SRPT mean FCT %.2f s  speedup ×%.2f\n", c.PSMeanFCT, c.SRPTMeanFCT, c.FCTSpeedup)
+	out += fmt.Sprintf("  at datacenter scale: $%.0fM/year\n", r.DatacenterUSDPerYear/1e6)
+	return out
+}
+
+// SVG renders the report as a text panel.
+func (r SchedulerResult) SVG() (string, error) { return textPanel(r.Table()) }
+
+// FrontierResult traces the fairness/energy trade-off curve for two equal
+// flows under the calibrated power curve.
+type FrontierResult struct {
+	// Assumptions reports whether the curve satisfies Theorem 1's
+	// hypotheses (the frontier's monotonicity depends on them).
+	Assumptions Assumptions
+	Points      []FrontierPoint
+}
+
+// RunFrontier sweeps the weighted-share weight from fair to serial and
+// records Jain's index, energy, and savings at each step.
+func RunFrontier(o Options) (FrontierResult, error) {
+	if _, err := o.withDefaults(); err != nil {
+		return FrontierResult{}, err
+	}
+	p := PaperPowerFunc()
+	a, err := VerifyAssumptions(p, 10e9)
+	if err != nil {
+		return FrontierResult{}, err
+	}
+	pts, err := FairnessEnergyFrontier(1.25e9, 10e9, p, 11)
+	if err != nil {
+		return FrontierResult{}, err
+	}
+	return FrontierResult{Assumptions: a, Points: pts}, nil
+}
+
+// Table renders the frontier rows.
+func (r FrontierResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Fairness/energy frontier (2× 10 Gbit flows, calibrated curve)\n")
+	fmt.Fprintf(&b, "hypotheses hold: concave=%v increasing=%v decreasing-marginal=%v\n",
+		r.Assumptions.StrictlyConcave, r.Assumptions.Increasing, r.Assumptions.DecreasingMarginal)
+	fmt.Fprintf(&b, "%-8s %8s %12s %10s\n", "weight", "jain", "energy (J)", "savings")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-8.2f %8.3f %12.1f %9.2f%%\n", pt.Weight, pt.Jain, pt.EnergyJ, pt.SavingsFrac*100)
+	}
+	return b.String()
+}
+
+func init() {
+	Register(Experiment{
+		Name: "theorem", Order: 90, Section: "§2",
+		Description: "Theorem 1 verification: fair share is the least energy-efficient allocation",
+		Run:         func(o Options) (Result, error) { return RunTheorem(o) },
+	})
+	Register(Experiment{
+		Name: "scheduler", Aliases: []string{"srpt"}, Order: 100, Section: "§5",
+		Description: "energy-aware SRPT scheduler vs processor sharing (closed form)",
+		Run:         func(o Options) (Result, error) { return RunScheduler(o) },
+	})
+	Register(Experiment{
+		Name: "frontier", Order: 140, Section: "§5",
+		Description: "fairness/energy trade-off frontier for two equal flows (closed form)",
+		Run:         func(o Options) (Result, error) { return RunFrontier(o) },
+	})
+}

@@ -189,7 +189,7 @@ func BenchmarkIncast(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := RunAblations()
+		res, err := RunAblations(Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

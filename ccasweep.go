@@ -19,6 +19,29 @@ import (
 // paperTransferBytes is §4.3's transfer size: 50 GB per run.
 const paperTransferBytes = 50_000_000_000
 
+func init() {
+	Register(Experiment{
+		Name: "fig5", Aliases: []string{"5"}, Order: 50, Section: "§4.3",
+		Description: "energy to transmit 50 GB per CCA × MTU (shared sweep)",
+		Run:         func(o Options) (Result, error) { return RunFig5(o) },
+	})
+	Register(Experiment{
+		Name: "fig6", Aliases: []string{"6"}, Order: 60, Section: "§4.3",
+		Description: "average sender power per CCA × MTU (shared sweep)",
+		Run:         func(o Options) (Result, error) { return RunFig6(o) },
+	})
+	Register(Experiment{
+		Name: "fig7", Aliases: []string{"7"}, Order: 70, Section: "§4.3",
+		Description: "energy vs flow completion time scatter (shared sweep)",
+		Run:         func(o Options) (Result, error) { return RunFig7(o) },
+	})
+	Register(Experiment{
+		Name: "fig8", Aliases: []string{"8"}, Order: 80, Section: "§4.3",
+		Description: "energy vs retransmissions scatter (shared sweep)",
+		Run:         func(o Options) (Result, error) { return RunFig8(o) },
+	})
+}
+
 // SweepMTUs are the paper's §4.4 MTU steps.
 var SweepMTUs = []int{1500, 3000, 6000, 9000}
 
@@ -103,7 +126,10 @@ func sweepKey(o Options) string {
 // memoized on disk, so a fresh process replays a warm sweep without
 // simulating anything.
 func RunCCASweep(o Options) (*SweepResult, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	key := sweepKey(o)
 	sweepMu.Lock()
 	e, ok := sweepCache[key]
@@ -190,14 +216,7 @@ func runCCASweep(o Options) (*SweepResult, error) {
 	}
 
 	for ci, s := range specs {
-		cell := SweepCell{CCA: s.cca, MTU: s.mtu}
-		for _, r := range runs[ci] {
-			e := r.SenderEnergyJ[0]
-			cell.EnergyJ = append(cell.EnergyJ, e)
-			cell.FCTSecs = append(cell.FCTSecs, r.Duration.Seconds())
-			cell.PowerW = append(cell.PowerW, e/r.Duration.Seconds())
-			cell.Retx = append(cell.Retx, float64(r.Retransmits))
-		}
+		cell := cellFromRuns(s.cca, s.mtu, runs[ci])
 		o.logf("sweep: %-9s mtu %-5d energy %s J  fct %s s  retx %s",
 			s.cca, s.mtu, stats.Summary(cell.EnergyJ), stats.Summary(cell.FCTSecs), stats.Summary(cell.Retx))
 		res.Cells = append(res.Cells, cell)

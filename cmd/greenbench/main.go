@@ -1,10 +1,14 @@
 // Command greenbench regenerates the paper's figures on the simulated
-// testbed and prints the same rows/series the paper reports.
+// testbed and prints the same rows/series the paper reports. Every
+// experiment comes from the greenenvy experiment registry: the command has
+// no per-figure code, so a newly registered experiment appears in -fig
+// list, -fig all, and -svg output with no changes here.
 //
 // Usage:
 //
-//	greenbench -fig 1            # Figure 1: unfairness sweep
-//	greenbench -fig 5 -scale 0.1 # Figure 5 at 5 GB per run
+//	greenbench -fig list         # enumerate the registered experiments
+//	greenbench -fig 1            # Figure 1: unfairness sweep (alias of fig1)
+//	greenbench -fig fig5 -scale 0.1 # Figure 5 at 5 GB per run
 //	greenbench -fig all -reps 10 -scale 1   # full paper parameters
 //	greenbench -fig theorem      # Theorem 1 verification
 //	greenbench -fig scheduler    # §5 SRPT-vs-fair scheduler comparison
@@ -26,13 +30,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"greenenvy"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 1..8, theorem, scheduler, or all")
+		fig        = flag.String("fig", "all", "experiment to run: a registry name or alias (see -fig list), or all")
 		reps       = flag.Int("reps", 3, "repetitions per scenario (paper: 10)")
 		scale      = flag.Float64("scale", 0.04, "fraction of the paper's transfer sizes (paper: 1.0)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -46,6 +51,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *fig == "list" {
+		printList()
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,6 +112,14 @@ func main() {
 	}
 }
 
+// printList enumerates the experiment registry.
+func printList() {
+	fmt.Printf("%-12s %-8s %-8s %s\n", "NAME", "ALIASES", "SECTION", "DESCRIPTION")
+	for _, e := range greenenvy.Experiments() {
+		fmt.Printf("%-12s %-8s %-8s %s\n", e.Name, strings.Join(e.Aliases, ","), e.Section, e.Description)
+	}
+}
+
 // printCacheStats reports the persistent cache's accounting for this
 // invocation on stderr: how many per-repetition results were replayed from
 // disk versus simulated. Silent when the cache is disabled or untouched
@@ -120,12 +138,8 @@ func printCacheStats(dir string, noCache bool) {
 		float64(st.BytesRead)/1024, float64(st.BytesWritten)/1024, dir)
 }
 
-// svgResult is implemented by results that can render themselves.
-type svgResult interface {
-	SVG() (string, error)
-}
-
-func writeSVG(dir, name string, r svgResult) error {
+// writeSVG renders a result into dir, if set.
+func writeSVG(dir, name string, r greenenvy.Result) error {
 	if dir == "" {
 		return nil
 	}
@@ -144,129 +158,28 @@ func writeSVG(dir, name string, r svgResult) error {
 	return nil
 }
 
+// run resolves the -fig argument through the registry and executes the
+// selected experiments: print the table, optionally write the SVG.
 func run(fig string, o greenenvy.Options, svgDir string) error {
-	type tabler interface{ Table() string }
-	type job struct {
-		name string
-		fn   func(greenenvy.Options) (tabler, error)
-	}
-	jobs := map[string]job{
-		"1": {"fig1", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig1(o) }},
-		"2": {"fig2", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig2(o) }},
-		"3": {"fig3", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig3(o) }},
-		"4": {"fig4", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig4(o) }},
-		"5": {"fig5", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig5(o) }},
-		"6": {"fig6", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig6(o) }},
-		"7": {"fig7", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig7(o) }},
-		"8": {"fig8", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunFig8(o) }},
-		"theorem": {"theorem", func(o greenenvy.Options) (tabler, error) {
-			s, err := theoremReport()
-			return stringTable(s), err
-		}},
-		"scheduler": {"scheduler", func(o greenenvy.Options) (tabler, error) {
-			s, err := schedulerReport()
-			return stringTable(s), err
-		}},
-		"incast":     {"incast", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunIncast(o) }},
-		"samesender": {"samesender", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunSameSender(o) }},
-		"ablations":  {"ablations", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunAblations() }},
-		"frontier": {"frontier", func(o greenenvy.Options) (tabler, error) {
-			s, err := frontierReport()
-			return stringTable(s), err
-		}},
-		"production": {"production", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunProduction(o) }},
-		"workload":   {"workload", func(o greenenvy.Options) (tabler, error) { return greenenvy.RunWorkload(o) }},
-	}
-
-	order := []string{"1", "2", "3", "4", "5", "6", "7", "8", "theorem", "scheduler", "incast", "samesender", "ablations", "frontier", "production", "workload"}
-	var selected []string
+	var selected []greenenvy.Experiment
 	if fig == "all" {
-		selected = order
-	} else if _, ok := jobs[fig]; ok {
-		selected = []string{fig}
+		selected = greenenvy.Experiments()
+	} else if e, ok := greenenvy.LookupExperiment(fig); ok {
+		selected = []greenenvy.Experiment{e}
 	} else {
-		return fmt.Errorf("unknown figure %q (use 1..8, theorem, scheduler, incast, samesender, ablations, all)", fig)
+		return fmt.Errorf("unknown experiment %q (names: %s; `greenbench -fig list` shows aliases and descriptions)",
+			fig, strings.Join(greenenvy.ExperimentNames(), ", "))
 	}
 
-	for _, key := range selected {
-		j := jobs[key]
-		res, err := j.fn(o)
+	for _, e := range selected {
+		res, err := e.Run(o)
 		if err != nil {
-			return fmt.Errorf("%s: %w", j.name, err)
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 		fmt.Println(res.Table())
-		if s, ok := res.(svgResult); ok {
-			if err := writeSVG(svgDir, j.name, s); err != nil {
-				return fmt.Errorf("%s svg: %w", j.name, err)
-			}
+		if err := writeSVG(svgDir, e.Name, res); err != nil {
+			return fmt.Errorf("%s svg: %w", e.Name, err)
 		}
 	}
 	return nil
-}
-
-// stringTable adapts a plain report string to the tabler interface.
-type stringTable string
-
-// Table returns the report text.
-func (s stringTable) Table() string { return string(s) }
-
-func theoremReport() (string, error) {
-	p := greenenvy.PaperPowerFunc()
-	out := "Theorem 1 — fair share is the least energy-efficient allocation\n"
-	out += fmt.Sprintf("curve strictly concave on [0, 10G]: %v\n", greenenvy.IsStrictlyConcave(p, 10e9, 1000))
-	for _, y := range [][]float64{{10e9, 0}, {7.5e9, 2.5e9}, {6e9, 4e9}, {4e9, 3e9, 3e9}} {
-		fair, yp, holds, err := greenenvy.CheckTheorem1(p, 10e9, y)
-		if err != nil {
-			return "", err
-		}
-		out += fmt.Sprintf("  y=%v Gb/s: P(fair)=%.2f W > P(y)=%.2f W  holds=%v\n", gbps(y), fair, yp, holds)
-	}
-	return out, nil
-}
-
-func gbps(y []float64) []float64 {
-	out := make([]float64, len(y))
-	for i, v := range y {
-		out[i] = v / 1e9
-	}
-	return out
-}
-
-func frontierReport() (string, error) {
-	p := greenenvy.PaperPowerFunc()
-	a, err := greenenvy.VerifyAssumptions(p, 10e9)
-	if err != nil {
-		return "", err
-	}
-	out := "Fairness/energy frontier (2× 10 Gbit flows, calibrated curve)\n"
-	out += fmt.Sprintf("hypotheses hold: concave=%v increasing=%v decreasing-marginal=%v\n",
-		a.StrictlyConcave, a.Increasing, a.DecreasingMarginal)
-	pts, err := greenenvy.FairnessEnergyFrontier(1.25e9, 10e9, p, 11)
-	if err != nil {
-		return "", err
-	}
-	out += fmt.Sprintf("%-8s %8s %12s %10s\n", "weight", "jain", "energy (J)", "savings")
-	for _, pt := range pts {
-		out += fmt.Sprintf("%-8.2f %8.3f %12.1f %9.2f%%\n", pt.Weight, pt.Jain, pt.EnergyJ, pt.SavingsFrac*100)
-	}
-	return out, nil
-}
-
-func schedulerReport() (string, error) {
-	p := greenenvy.PaperPowerFunc()
-	flows := []greenenvy.Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
-	c, err := greenenvy.CompareSchedulers(flows, 10e9, p)
-	if err != nil {
-		return "", err
-	}
-	out := "§5 — energy-aware SRPT scheduler vs processor sharing (2× 10 Gbit flows)\n"
-	out += fmt.Sprintf("  fair energy  %.1f J   SRPT energy %.1f J   saving %.1f%%\n", c.PSEnergyJ, c.SRPTEnergyJ, c.SavingFrac*100)
-	out += fmt.Sprintf("  fair mean FCT %.2f s  SRPT mean FCT %.2f s  speedup ×%.2f\n", c.PSMeanFCT, c.SRPTMeanFCT, c.FCTSpeedup)
-	dc := greenenvy.PaperDatacenter()
-	usd, err := dc.YearlySavingsUSD(c.SavingFrac)
-	if err != nil {
-		return "", err
-	}
-	out += fmt.Sprintf("  at datacenter scale: $%.0fM/year\n", usd/1e6)
-	return out, nil
 }

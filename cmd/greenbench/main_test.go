@@ -14,8 +14,12 @@ func fastOpts() greenenvy.Options {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("42", fastOpts(), ""); err == nil {
+	err := run("42", fastOpts(), "")
+	if err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+	if !strings.Contains(err.Error(), "-fig list") {
+		t.Fatalf("error %q should point at -fig list", err)
 	}
 }
 
@@ -27,32 +31,36 @@ func TestRunAnalyticReports(t *testing.T) {
 	}
 }
 
-func TestTheoremReportContent(t *testing.T) {
-	s, err := theoremReport()
-	if err != nil {
-		t.Fatal(err)
+// reportTable runs a registry experiment and returns its table, so the
+// content checks below cover exactly what `greenbench -fig <name>` prints.
+func reportTable(t *testing.T, fig string) string {
+	t.Helper()
+	e, ok := greenenvy.LookupExperiment(fig)
+	if !ok {
+		t.Fatalf("%s not registered", fig)
 	}
+	res, err := e.Run(fastOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", fig, err)
+	}
+	return res.Table()
+}
+
+func TestTheoremReportContent(t *testing.T) {
+	s := reportTable(t, "theorem")
 	if !strings.Contains(s, "holds=true") || strings.Contains(s, "holds=false") {
 		t.Fatalf("theorem report:\n%s", s)
 	}
 }
 
 func TestFrontierReportContent(t *testing.T) {
-	s, err := frontierReport()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(s, "concave=true") {
+	if s := reportTable(t, "frontier"); !strings.Contains(s, "concave=true") {
 		t.Fatalf("frontier report:\n%s", s)
 	}
 }
 
 func TestSchedulerReportContent(t *testing.T) {
-	s, err := schedulerReport()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(s, "saving 16.3%") {
+	if s := reportTable(t, "scheduler"); !strings.Contains(s, "saving 16.3%") {
 		t.Fatalf("scheduler report:\n%s", s)
 	}
 }
@@ -97,12 +105,5 @@ func TestRunWarmCacheReplaysFromDisk(t *testing.T) {
 	warm := greenenvy.CacheStatsFor(dir)
 	if warm.Hits != cold.Misses || warm.Misses != cold.Misses {
 		t.Fatalf("second run not fully warm: cold %+v, warm %+v", cold, warm)
-	}
-}
-
-func TestGbpsHelper(t *testing.T) {
-	out := gbps([]float64{5e9, 10e9})
-	if out[0] != 5 || out[1] != 10 {
-		t.Fatalf("gbps = %v", out)
 	}
 }

@@ -9,14 +9,27 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"greenenvy/internal/iperf"
 	"greenenvy/internal/sim"
 	"greenenvy/internal/testbed"
 )
+
+// traceConfig collects the knobs for one traced transfer.
+type traceConfig struct {
+	CCA      string
+	MTU      int
+	Bytes    uint64
+	Interval sim.Duration // 0 = 1ms simulated
+	Load     float64
+	Target   int64 // iperf3 -b bitrate, 0 = unlimited
+	Seed     uint64
+}
 
 func main() {
 	var (
@@ -30,34 +43,46 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*ccaName, *mtu, *bytes, sim.Duration(*interval), *load, *target, *seed); err != nil {
+	cfg := traceConfig{
+		CCA: *ccaName, MTU: *mtu, Bytes: *bytes,
+		Interval: sim.Duration(*interval), Load: *load, Target: *target, Seed: *seed,
+	}
+	out := bufio.NewWriter(os.Stdout)
+	err := trace(out, os.Stderr, cfg)
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "greentrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ccaName string, mtu int, bytes uint64, interval sim.Duration, load float64, target int64, seed uint64) error {
-	tb := testbed.New(testbed.Options{Seed: seed, MeasureNoise: 1e-12})
-	if load > 0 {
-		if err := tb.AddLoad(0, load); err != nil {
+// trace runs the transfer described by cfg, writing the CSV series to w and
+// the one-line run summary to summary. Output is deterministic for a fixed
+// config: the testbed is seeded and samples on simulated time.
+func trace(w, summary io.Writer, cfg traceConfig) error {
+	tb := testbed.New(testbed.Options{Seed: cfg.Seed, MeasureNoise: 1e-12})
+	if cfg.Load > 0 {
+		if err := tb.AddLoad(0, cfg.Load); err != nil {
 			return err
 		}
 	}
-	spec := iperf.Spec{Bytes: bytes, CCA: ccaName, TargetBps: target}
-	spec.Config.MTU = mtu
+	spec := iperf.Spec{Bytes: cfg.Bytes, CCA: cfg.CCA, TargetBps: cfg.Target}
+	spec.Config.MTU = cfg.MTU
 	client, err := tb.AddFlow(0, spec)
 	if err != nil {
 		return err
 	}
 
-	step := interval
+	step := cfg.Interval
 	if step <= 0 {
 		step = sim.Millisecond
 	}
 
 	meter := tb.SenderMeter(0)
 	curve := meter.Curve
-	fmt.Println("t_s,cwnd_bytes,inflight_bytes,goodput_gbps,queue_bytes,retransmits,power_w,energy_j")
+	fmt.Fprintln(w, "t_s,cwnd_bytes,inflight_bytes,goodput_gbps,queue_bytes,retransmits,power_w,energy_j")
 	var lastBytes uint64
 	var lastJ float64
 	var sample func()
@@ -71,7 +96,7 @@ func run(ccaName string, mtu int, bytes uint64, interval sim.Duration, load floa
 		j := meter.Joules()
 		watts := (j - lastJ) / step.Seconds()
 		lastJ = j
-		fmt.Printf("%.6f,%d,%d,%.3f,%d,%d,%.2f,%.3f\n",
+		fmt.Fprintf(w, "%.6f,%d,%d,%.3f,%d,%d,%.2f,%.3f\n",
 			now.Seconds(), int64(snd.CC().CWnd()), snd.BytesInFlight(), gbps,
 			tb.Net.Bottleneck.Queue().Bytes(), snd.Retransmits, watts, j)
 		if !client.Done() {
@@ -80,12 +105,12 @@ func run(ccaName string, mtu int, bytes uint64, interval sim.Duration, load floa
 	}
 	tb.Engine.After(step, sample)
 
-	res, err := tb.Run(sim.Duration(bytes/50e6+30) * sim.Second)
+	res, err := tb.Run(sim.Duration(cfg.Bytes/50e6+30) * sim.Second)
 	if err != nil {
 		return err
 	}
 	r := res.Reports[0]
-	fmt.Fprintf(os.Stderr, "# %s  energy=%.1fJ  power=%.2fW  idle-equivalent=%.2fW\n",
+	fmt.Fprintf(summary, "# %s  energy=%.1fJ  power=%.2fW  idle-equivalent=%.2fW\n",
 		r.String(), res.SenderEnergyJ[0], res.AvgSenderPowerW, curve.PowerAt(0))
 	return nil
 }

@@ -43,7 +43,10 @@ type Options struct {
 	Verbose bool
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults fills unset fields and validates the rest. Every Run* entry
+// point calls it first and returns its error — bad caller input is an
+// error, never a panic.
+func (o Options) withDefaults() (Options, error) {
 	if o.Reps == 0 {
 		o.Reps = 3
 	}
@@ -51,7 +54,7 @@ func (o Options) withDefaults() Options {
 		o.Scale = 0.04
 	}
 	if o.Scale < 0 || o.Scale > 1 {
-		panic(fmt.Sprintf("greenenvy: Scale %v out of (0, 1]", o.Scale))
+		return Options{}, fmt.Errorf("greenenvy: Scale %v out of (0, 1]", o.Scale)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -62,7 +65,7 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
-	return o
+	return o, nil
 }
 
 // Paper returns the paper's full experiment parameters: 10 repetitions,

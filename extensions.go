@@ -6,7 +6,6 @@ import (
 
 	"greenenvy/internal/energy"
 	"greenenvy/internal/iperf"
-	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
@@ -24,15 +23,33 @@ import (
 //     the concave wake term for Figure 1, the per-packet CPU cost for the
 //     MTU effect.
 
+func init() {
+	Register(Experiment{
+		Name: "incast", Order: 110, Section: "§5",
+		Description: "fair-vs-serial savings as synchronized fan-in grows",
+		Run:         func(o Options) (Result, error) { return RunIncast(o) },
+	})
+	Register(Experiment{
+		Name: "samesender", Order: 120, Section: "§5",
+		Description: "both flows on one host: the savings (mostly) vanish",
+		Run:         func(o Options) (Result, error) { return RunSameSender(o) },
+	})
+	Register(Experiment{
+		Name: "ablations", Order: 130, Section: "§5",
+		Description: "which model ingredients carry each paper result (closed form)",
+		Run:         func(o Options) (Result, error) { return RunAblations(o) },
+	})
+}
+
 // IncastPoint is one fan-in width of the incast experiment.
 type IncastPoint struct {
-	Senders       int
-	FairJ         float64
-	SerialJ       float64
-	SavingsPct    float64
-	AnalyticPct   float64
-	FairDuration  float64
-	SerialDuraton float64
+	Senders        int
+	FairJ          float64
+	SerialJ        float64
+	SavingsPct     float64
+	AnalyticPct    float64
+	FairDuration   float64
+	SerialDuration float64
 }
 
 // IncastResult sweeps the number of synchronized senders sharing the
@@ -48,7 +65,10 @@ type IncastResult struct {
 // RunIncast measures fair-vs-serial energy for 2..16 synchronized senders
 // moving a fixed aggregate volume through the 10 Gb/s bottleneck.
 func RunIncast(o Options) (IncastResult, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return IncastResult{}, err
+	}
 	totalBytes := uint64(20 * paperGbit * o.Scale)
 	res := IncastResult{TotalGbit: float64(totalBytes) * 8 / 1e9}
 	p := PaperPowerFunc()
@@ -57,7 +77,7 @@ func RunIncast(o Options) (IncastResult, error) {
 		per := totalBytes / uint64(n)
 		run := func(serial bool) (float64, float64, error) {
 			id := fmt.Sprintf("incast/n=%d/serial=%t/per=%d", n, serial, per)
-			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+			aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Senders: n, UseDRR: !serial, Seed: seed})
 				var prev *iperf.Client
 				for i := 0; i < n; i++ {
@@ -75,18 +95,11 @@ func RunIncast(o Options) (IncastResult, error) {
 					}
 				}
 				return tb, nil
-			}, deadlineFor(totalBytes))
+			}, deadlineFor(totalBytes), senderJoules, runSeconds)
 			if err != nil {
 				return 0, 0, err
 			}
-			var es, ds []float64
-			for _, r := range runs {
-				es = append(es, r.TotalSenderJ)
-				ds = append(ds, r.Duration.Seconds())
-			}
-			em, _ := stats.MeanStd(es)
-			dm, _ := stats.MeanStd(ds)
-			return em, dm, nil
+			return aggs[0].Mean, aggs[1].Mean, nil
 		}
 		fairJ, fairD, err := run(false)
 		if err != nil {
@@ -113,13 +126,13 @@ func RunIncast(o Options) (IncastResult, error) {
 		analytic := (fairS.Energy(p) - serialS.Energy(p)) / fairS.Energy(p) * 100
 
 		res.Points = append(res.Points, IncastPoint{
-			Senders:       n,
-			FairJ:         fairJ,
-			SerialJ:       serialJ,
-			SavingsPct:    (fairJ - serialJ) / fairJ * 100,
-			AnalyticPct:   analytic,
-			FairDuration:  fairD,
-			SerialDuraton: serialD,
+			Senders:        n,
+			FairJ:          fairJ,
+			SerialJ:        serialJ,
+			SavingsPct:     (fairJ - serialJ) / fairJ * 100,
+			AnalyticPct:    analytic,
+			FairDuration:   fairD,
+			SerialDuration: serialD,
 		})
 		o.logf("incast: n=%d savings %.1f%% (analytic %.1f%%)", n, (fairJ-serialJ)/fairJ*100, analytic)
 	}
@@ -154,12 +167,15 @@ type SameSenderResult struct {
 
 // RunSameSender measures the same-sender multiplexing variant of Figure 1.
 func RunSameSender(o Options) (SameSenderResult, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return SameSenderResult{}, err
+	}
 	bytes := uint64(10 * paperGbit * o.Scale)
 
 	run := func(senders int, serial bool) (float64, error) {
 		id := fmt.Sprintf("samesender/senders=%d/serial=%t/bytes=%d", senders, serial, bytes)
-		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+		aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Senders: senders, UseDRR: !serial, Seed: seed})
 			host2 := 0
 			if senders == 2 {
@@ -184,20 +200,14 @@ func RunSameSender(o Options) (SameSenderResult, error) {
 				}
 			}
 			return tb, nil
-		}, deadlineFor(2*bytes))
+		}, deadlineFor(2*bytes), senderJoules)
 		if err != nil {
 			return 0, err
 		}
-		var es []float64
-		for _, r := range runs {
-			es = append(es, r.TotalSenderJ)
-		}
-		m, _ := stats.MeanStd(es)
-		return m, nil
+		return aggs[0].Mean, nil
 	}
 
 	var res SameSenderResult
-	var err error
 	if res.FairJ, err = run(1, false); err != nil {
 		return res, fmt.Errorf("same-sender fair: %w", err)
 	}
@@ -251,8 +261,12 @@ type AblationResult struct {
 }
 
 // RunAblations computes the ablation table analytically from the model.
-func RunAblations() (AblationResult, error) {
+// The options are validated but otherwise unused: the table is closed-form.
+func RunAblations(o Options) (AblationResult, error) {
 	var res AblationResult
+	if _, err := o.withDefaults(); err != nil {
+		return res, err
+	}
 	flows := []Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}
 
 	savingsUnder := func(p PowerFunc) (float64, error) {

@@ -60,7 +60,7 @@ func TestRunSameSenderSavingsVanish(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
-	res, err := RunAblations()
+	res, err := RunAblations(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,16 @@ import (
 
 	"greenenvy/internal/core"
 	"greenenvy/internal/iperf"
-	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
+
+func init() {
+	Register(Experiment{
+		Name: "fig1", Aliases: []string{"1"}, Order: 10, Section: "§4.1",
+		Description: "energy savings vs bandwidth fraction for two competing flows",
+		Run:         func(o Options) (Result, error) { return RunFig1(o) },
+	})
+}
 
 // Fig1Point is one x-position of the paper's Figure 1: the bandwidth
 // fraction allocated to flow 1 and the measured total sender energy.
@@ -47,7 +54,10 @@ type Fig1Result struct {
 // complete. The paper's result: the fair split is worst; the serial
 // schedule saves ≈16 %.
 func RunFig1(o Options) (Fig1Result, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return Fig1Result{}, err
+	}
 	bytes := uint64(10 * paperGbit * o.Scale)
 	if bytes == 0 {
 		return Fig1Result{}, fmt.Errorf("greenenvy: scale too small")
@@ -74,7 +84,7 @@ func RunFig1(o Options) (Fig1Result, error) {
 	deadline := deadlineFor(2 * bytes)
 	for _, f := range fractions {
 		id := fmt.Sprintf("fig1/frac=%.2f/bytes=%d", f, bytes)
-		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+		aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Senders: 2, UseDRR: f < 1.0, Seed: seed})
 			c1, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic"})
 			if err != nil {
@@ -97,24 +107,20 @@ func RunFig1(o Options) (Fig1Result, error) {
 				c2.StartAfter(c1)
 			}
 			return tb, nil
-		}, deadline)
+		}, deadline, senderJoules)
 		if err != nil {
 			return Fig1Result{}, fmt.Errorf("fraction %v: %w", f, err)
 		}
-		energies := make([]float64, 0, len(runs))
-		for _, r := range runs {
-			energies = append(energies, r.TotalSenderJ)
-		}
 		jain := 1 / (2 * (f*f + (1-f)*(1-f)))
-		m, s := stats.MeanStd(energies)
+		energy := aggs[0]
 		res.Points = append(res.Points, Fig1Point{
 			Fraction:           f,
-			MeanEnergyJ:        m,
-			StdEnergyJ:         s,
+			MeanEnergyJ:        energy.Mean,
+			StdEnergyJ:         energy.Std,
 			AnalyticSavingsPct: analytic[f],
 			JainIndex:          jain,
 		})
-		o.logf("fig1: f=%.2f energy=%.1f±%.1f J", f, m, s)
+		o.logf("fig1: f=%.2f energy=%.1f±%.1f J", f, energy.Mean, energy.Std)
 	}
 
 	res.FairEnergyJ = res.Points[0].MeanEnergyJ

@@ -7,9 +7,16 @@ import (
 	"greenenvy/internal/energy"
 	"greenenvy/internal/iperf"
 	"greenenvy/internal/sim"
-	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
+
+func init() {
+	Register(Experiment{
+		Name: "fig2", Aliases: []string{"2"}, Order: 20, Section: "§4.1",
+		Description: "sender power vs throughput: the concave curve and its tangent",
+		Run:         func(o Options) (Result, error) { return RunFig2(o) },
+	})
+}
 
 // Fig2Point is one throughput step of Figure 2.
 type Fig2Point struct {
@@ -36,7 +43,10 @@ type Fig2Result struct {
 // to each throughput step, plus the idle point, and constructs the tangent
 // line from the measured endpoints.
 func RunFig2(o Options) (Fig2Result, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return Fig2Result{}, err
+	}
 	var res Fig2Result
 
 	// Idle point: a bare host, no traffic.
@@ -57,21 +67,17 @@ func RunFig2(o Options) (Fig2Result, error) {
 	for _, gbps := range rates {
 		bytes := uint64(gbps * 1e9 / 8 * hold)
 		id := fmt.Sprintf("fig2/target=%g/bytes=%d", gbps, bytes)
-		runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+		aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			tb := testbed.New(testbed.Options{Seed: seed})
 			_, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic", TargetBps: int64(gbps * 1e9)})
 			return tb, err
-		}, deadlineFor(bytes))
+		}, deadlineFor(bytes), firstSenderWatts)
 		if err != nil {
 			return Fig2Result{}, fmt.Errorf("rate %v Gb/s: %w", gbps, err)
 		}
-		watts := make([]float64, 0, len(runs))
-		for _, r := range runs {
-			watts = append(watts, r.SenderEnergyJ[0]/r.Duration.Seconds())
-		}
-		m, s := stats.MeanStd(watts)
-		res.Points = append(res.Points, Fig2Point{Gbps: gbps, SmoothW: m, StdW: s})
-		o.logf("fig2: %.0f Gb/s -> %.2f ± %.2f W", gbps, m, s)
+		watts := aggs[0]
+		res.Points = append(res.Points, Fig2Point{Gbps: gbps, SmoothW: watts.Mean, StdW: watts.Std})
+		o.logf("fig2: %.0f Gb/s -> %.2f ± %.2f W", gbps, watts.Mean, watts.Std)
 	}
 
 	// Tangent line between the measured idle and line-rate points.

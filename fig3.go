@@ -27,10 +27,21 @@ type Fig3Result struct {
 	FlowGbit float64
 }
 
+func init() {
+	Register(Experiment{
+		Name: "fig3", Aliases: []string{"3"}, Order: 30, Section: "§4.1",
+		Description: "throughput-over-time traces: fair split vs full speed then idle",
+		Run:         func(o Options) (Result, error) { return RunFig3(o) },
+	})
+}
+
 // RunFig3 runs the two scenarios once each (traces, not statistics) and
 // samples per-flow goodput every 10 ms.
 func RunFig3(o Options) (Fig3Result, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return Fig3Result{}, err
+	}
 	bytes := uint64(10 * paperGbit * o.Scale)
 	res := Fig3Result{FlowGbit: float64(bytes) * 8 / 1e9}
 
@@ -71,7 +82,6 @@ func RunFig3(o Options) (Fig3Result, error) {
 		return samples, nil
 	}
 
-	var err error
 	if res.Fair, err = trace(false); err != nil {
 		return Fig3Result{}, fmt.Errorf("fair trace: %w", err)
 	}

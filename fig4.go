@@ -5,9 +5,16 @@ import (
 	"strings"
 
 	"greenenvy/internal/iperf"
-	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
+
+func init() {
+	Register(Experiment{
+		Name: "fig4", Aliases: []string{"4"}, Order: 40, Section: "§4.2",
+		Description: "sender power vs bitrate under background load, plus loaded savings",
+		Run:         func(o Options) (Result, error) { return RunFig4(o) },
+	})
+}
 
 // Fig4Point is one (load, bitrate) cell of Figure 4.
 type Fig4Point struct {
@@ -42,7 +49,10 @@ type Fig4Result struct {
 // and, for each load, the fair-vs-serial energy delta for two competing
 // flows.
 func RunFig4(o Options) (Fig4Result, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return Fig4Result{}, err
+	}
 	var res Fig4Result
 	loads := []float64{0, 0.25, 0.50, 0.75}
 
@@ -58,24 +68,20 @@ func RunFig4(o Options) (Fig4Result, error) {
 		for _, gbps := range rates {
 			bytes := uint64(gbps * 1e9 / 8 * hold)
 			id := fmt.Sprintf("fig4/load=%g/target=%g/bytes=%d", load, gbps, bytes)
-			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+			aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed})
 				if err := tb.AddLoad(0, load); err != nil {
 					return nil, err
 				}
 				_, err := tb.AddFlow(0, iperf.Spec{Bytes: bytes, CCA: "cubic", TargetBps: int64(gbps * 1e9)})
 				return tb, err
-			}, deadlineFor(bytes))
+			}, deadlineFor(bytes), firstSenderWatts)
 			if err != nil {
 				return Fig4Result{}, fmt.Errorf("load %v rate %v: %w", load, gbps, err)
 			}
-			watts := make([]float64, 0, len(runs))
-			for _, r := range runs {
-				watts = append(watts, r.SenderEnergyJ[0]/r.Duration.Seconds())
-			}
-			m, s := stats.MeanStd(watts)
-			res.Points = append(res.Points, Fig4Point{Load: load, Gbps: gbps, MeanW: m, StdW: s})
-			o.logf("fig4: load %.0f%% %.1f Gb/s -> %.2f W", load*100, gbps, m)
+			watts := aggs[0]
+			res.Points = append(res.Points, Fig4Point{Load: load, Gbps: gbps, MeanW: watts.Mean, StdW: watts.Std})
+			o.logf("fig4: load %.0f%% %.1f Gb/s -> %.2f W", load*100, gbps, watts.Mean)
 		}
 	}
 
@@ -86,7 +92,7 @@ func RunFig4(o Options) (Fig4Result, error) {
 	for _, load := range loads {
 		energy := func(serial bool) (float64, error) {
 			id := fmt.Sprintf("fig4/savings/load=%g/serial=%t/bytes=%d", load, serial, bytes)
-			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
+			aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Senders: 2, UseDRR: !serial, Seed: seed})
 				for i := 0; i < 2; i++ {
 					if err := tb.AddLoad(i, load); err != nil {
@@ -112,16 +118,11 @@ func RunFig4(o Options) (Fig4Result, error) {
 					}
 				}
 				return tb, nil
-			}, deadlineFor(2*bytes))
+			}, deadlineFor(2*bytes), senderJoules)
 			if err != nil {
 				return 0, err
 			}
-			es := make([]float64, 0, len(runs))
-			for _, r := range runs {
-				es = append(es, r.TotalSenderJ)
-			}
-			m, _ := stats.MeanStd(es)
-			return m, nil
+			return aggs[0].Mean, nil
 		}
 		fairJ, err := energy(false)
 		if err != nil {

@@ -19,10 +19,21 @@
 //     plus the §5 future-work experiments (RunIncast, RunSameSender,
 //     RunProduction, RunWorkload, RunAblations, CompareSchedulers).
 //
+// Every experiment also registers itself in the experiment registry
+// (Experiments, LookupExperiment): a uniform catalogue of name, aliases,
+// paper section, and a Run function returning a Result (Table + SVG).
+// Generic tooling — cmd/greenbench, the registry tests — discovers
+// experiments from the registry instead of hard-coding each one.
+//
 // Quick start:
 //
 //	res, err := greenenvy.RunFig1(greenenvy.Options{Reps: 3})
 //	// res.MaxSavingsPct ≈ 16 (paper §4.1)
+//
+//	// Or generically, through the registry:
+//	e, _ := greenenvy.LookupExperiment("fig1")
+//	r, err := e.Run(greenenvy.Options{Reps: 3})
+//	fmt.Println(r.Table())
 package greenenvy
 
 import (

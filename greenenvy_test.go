@@ -260,12 +260,19 @@ func TestRunCCASweepFigures5678(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Scale > 1 did not panic")
-		}
-	}()
-	Options{Scale: 2}.withDefaults()
+	if _, err := (Options{Scale: 2}).withDefaults(); err == nil {
+		t.Fatal("Scale > 1 did not return an error")
+	}
+	if _, err := (Options{Scale: -0.5}).withDefaults(); err == nil {
+		t.Fatal("negative Scale did not return an error")
+	}
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatalf("zero Options: %v", err)
+	}
+	if o.Scale <= 0 || o.Reps <= 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", o)
+	}
 }
 
 func TestPaperOptions(t *testing.T) {

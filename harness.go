@@ -1,0 +1,73 @@
+package greenenvy
+
+import (
+	"greenenvy/internal/sim"
+	"greenenvy/internal/stats"
+	"greenenvy/internal/testbed"
+)
+
+// This file is the shared run harness behind the registered experiments.
+// repeatRuns (experiments.go) owns repetition fan-out, derived seeds, and
+// persistent-cache threading; the helpers here own the per-cell metric
+// aggregation that every figure used to hand-roll: extract one or more
+// scalars from each repetition's RunResult in run order and summarize them
+// with stats.MeanStd. Experiments keep only their scenario construction and
+// result interpretation.
+
+// buildFunc constructs one repetition's testbed from its derived seed. It
+// must not capture state shared across repetitions; two call sites with the
+// same cell id and seed must build identical testbeds (see repeatRuns).
+type buildFunc = func(seed uint64) (*testbed.Testbed, error)
+
+// runMetric extracts one scalar from a repetition's bracketed measurement.
+type runMetric func(testbed.RunResult) float64
+
+// Shared metric extractors.
+
+// senderJoules is the total energy across all sender hosts.
+func senderJoules(r testbed.RunResult) float64 { return r.TotalSenderJ }
+
+// runSeconds is the experiment's wall-clock (simulated) duration.
+func runSeconds(r testbed.RunResult) float64 { return r.Duration.Seconds() }
+
+// firstSenderWatts is host 0's average power over the run.
+func firstSenderWatts(r testbed.RunResult) float64 {
+	return r.SenderEnergyJ[0] / r.Duration.Seconds()
+}
+
+// agg summarizes one metric over a cell's repetitions.
+type agg struct{ Mean, Std float64 }
+
+// runCell runs one experiment cell — Reps repetitions fanned out over
+// Options.Workers with per-repetition persistent caching — and aggregates
+// each requested metric over the repetitions in run order.
+func runCell(o Options, id string, build buildFunc, deadline sim.Duration, metrics ...runMetric) ([]agg, error) {
+	runs, err := repeatRuns(o, id, build, deadline)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]agg, len(metrics))
+	for i, m := range metrics {
+		vals := make([]float64, len(runs))
+		for j, r := range runs {
+			vals[j] = m(r)
+		}
+		out[i].Mean, out[i].Std = stats.MeanStd(vals)
+	}
+	return out, nil
+}
+
+// cellFromRuns assembles the per-repetition measurement vectors of one
+// (CCA, MTU) cell from single-flow runs. The CCA sweep (Figures 5–8) and
+// the production benchmark share this shape.
+func cellFromRuns(ccaName string, mtu int, runs []testbed.RunResult) SweepCell {
+	cell := SweepCell{CCA: ccaName, MTU: mtu}
+	for _, r := range runs {
+		e := r.SenderEnergyJ[0]
+		cell.EnergyJ = append(cell.EnergyJ, e)
+		cell.FCTSecs = append(cell.FCTSecs, r.Duration.Seconds())
+		cell.PowerW = append(cell.PowerW, e/r.Duration.Seconds())
+		cell.Retx = append(cell.Retx, float64(r.Retransmits))
+	}
+	return cell
+}

@@ -1,0 +1,48 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TextPanel renders a titled block of monospace text as a self-contained
+// SVG document. Experiments whose natural output is a report rather than a
+// chart — theorem checks, ablation tables — use it so every registered
+// experiment can render an SVG figure.
+func TextPanel(title string, lines []string) (string, error) {
+	if title == "" {
+		return "", fmt.Errorf("plot: text panel needs a title")
+	}
+	const (
+		charW      = 7.3 // monospace advance at font-size 12
+		lineH      = 17
+		top        = 46
+		pad        = 16
+		minW, minH = 360, 120
+	)
+	longest := len(title) * 2 // the title renders larger
+	for _, l := range lines {
+		if len(l) > longest {
+			longest = len(l)
+		}
+	}
+	w := int(float64(longest)*charW) + 2*pad
+	if w < minW {
+		w = minW
+	}
+	h := top + lineH*len(lines) + pad
+	if h < minH {
+		h = minH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white" stroke="#ccc"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="15">%s</text>`+"\n", pad, esc(title))
+	for i, l := range lines {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="monospace" xml:space="preserve">%s</text>`+"\n",
+			pad, top+i*lineH, esc(l))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}

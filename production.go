@@ -11,16 +11,17 @@ import (
 	"greenenvy/internal/testbed"
 )
 
-// ProductionCell is one (algorithm, MTU) cell of the §5 extended
-// benchmark.
-type ProductionCell struct {
-	CCA     string
-	MTU     int
-	EnergyJ []float64
-	FCTSecs []float64
-	PowerW  []float64
-	Retx    []float64
+func init() {
+	Register(Experiment{
+		Name: "production", Order: 150, Section: "§5",
+		Description: "extended benchmark: Swift, DCQCN, HPCC vs CUBIC and DCTCP",
+		Run:         func(o Options) (Result, error) { return RunProduction(o) },
+	})
 }
+
+// ProductionCell is one (algorithm, MTU) cell of the §5 extended
+// benchmark. It shares the sweep's cell shape and accessors.
+type ProductionCell = SweepCell
 
 // ProductionResult is the benchmark the paper's §5 invites the community
 // to build: a standardized energy evaluation of the production datacenter
@@ -43,12 +44,14 @@ func productionSet() []string {
 // DCTCP/DCQCN-style marking bottleneck (K = 100 KiB), which is inert for
 // the non-ECN algorithms.
 func RunProduction(o Options) (ProductionResult, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return ProductionResult{}, err
+	}
 	bytes := uint64(float64(paperTransferBytes) * o.Scale)
 	res := ProductionResult{Bytes: bytes, ScaleToPaper: float64(paperTransferBytes) / float64(bytes)}
 	for _, name := range productionSet() {
 		for _, mtu := range []int{1500, 9000} {
-			cell := ProductionCell{CCA: name, MTU: mtu}
 			id := fmt.Sprintf("production/%s/mtu=%d/bytes=%d", name, mtu, bytes)
 			runs, err := repeatRuns(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				tb := testbed.New(testbed.Options{Seed: seed, MarkBytes: 100 << 10})
@@ -58,13 +61,7 @@ func RunProduction(o Options) (ProductionResult, error) {
 			if err != nil {
 				return ProductionResult{}, fmt.Errorf("%s/%d: %w", name, mtu, err)
 			}
-			for _, r := range runs {
-				e := r.SenderEnergyJ[0]
-				cell.EnergyJ = append(cell.EnergyJ, e)
-				cell.FCTSecs = append(cell.FCTSecs, r.Duration.Seconds())
-				cell.PowerW = append(cell.PowerW, e/r.Duration.Seconds())
-				cell.Retx = append(cell.Retx, float64(r.Retransmits))
-			}
+			cell := cellFromRuns(name, mtu, runs)
 			o.logf("production: %-6s mtu %-5d energy %s J fct %s s",
 				name, mtu, stats.Summary(cell.EnergyJ), stats.Summary(cell.FCTSecs))
 			res.Cells = append(res.Cells, cell)

@@ -1,0 +1,121 @@
+package greenenvy
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonicalOrder is the expected -fig all sequence: the paper's figures in
+// number order, then the analytic and extension experiments.
+var canonicalOrder = []string{
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"theorem", "scheduler", "incast", "samesender", "ablations",
+	"frontier", "production", "workload",
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != len(canonicalOrder) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(canonicalOrder))
+	}
+	for i, e := range exps {
+		if e.Name != canonicalOrder[i] {
+			t.Errorf("Experiments()[%d] = %q, want %q", i, e.Name, canonicalOrder[i])
+		}
+		if e.Description == "" {
+			t.Errorf("%s: empty description", e.Name)
+		}
+		if e.Section == "" {
+			t.Errorf("%s: empty paper section", e.Name)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil Run", e.Name)
+		}
+	}
+
+	seen := map[string]string{}
+	for _, e := range exps {
+		for _, key := range append([]string{e.Name}, e.Aliases...) {
+			if prev, dup := seen[key]; dup {
+				t.Errorf("key %q registered by both %s and %s", key, prev, e.Name)
+			}
+			seen[key] = e.Name
+			got, ok := LookupExperiment(key)
+			if !ok || got.Name != e.Name {
+				t.Errorf("LookupExperiment(%q) = %q, %v; want %q", key, got.Name, ok, e.Name)
+			}
+		}
+	}
+	for fig := 1; fig <= 8; fig++ {
+		want := canonicalOrder[fig-1]
+		if e, ok := LookupExperiment(strings.TrimPrefix(want, "fig")); !ok || e.Name != want {
+			t.Errorf("numeric alias for %s does not resolve", want)
+		}
+	}
+	if _, ok := LookupExperiment("no-such-experiment"); ok {
+		t.Error("LookupExperiment resolved a name that was never registered")
+	}
+
+	names := ExperimentNames()
+	for i, want := range canonicalOrder {
+		if names[i] != want {
+			t.Fatalf("ExperimentNames()[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestRegisterRejectsBadExperiments(t *testing.T) {
+	expectPanic := func(what string, e Experiment) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register accepted %s", what)
+			}
+		}()
+		Register(e)
+	}
+	run := func(Options) (Result, error) { return nil, nil }
+	expectPanic("a nameless experiment", Experiment{Run: run})
+	expectPanic("a runless experiment", Experiment{Name: "x"})
+	expectPanic("a duplicate name", Experiment{Name: "fig1", Run: run})
+	expectPanic("an alias shadowing a name", Experiment{Name: "x", Aliases: []string{"5"}, Run: run})
+}
+
+// TestEveryExperimentRunsAtTinyScale drives each registered experiment
+// through its registry Run at digestOpts' tiny scale and checks the uniform
+// Result contract: a non-empty table and a well-formed SVG document. The
+// simulation-heavy experiments share digestOpts' in-process sweep cache with
+// the golden-digest test, so the whole pass stays cheap.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment")
+	}
+	o := digestOpts()
+	for _, e := range Experiments() {
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			tbl := res.Table()
+			if strings.TrimSpace(tbl) == "" {
+				t.Fatal("empty table")
+			}
+			svg, err := res.SVG()
+			if err != nil {
+				t.Fatalf("SVG: %v", err)
+			}
+			if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+				t.Fatalf("malformed SVG (%d bytes)", len(svg))
+			}
+		})
+	}
+}
+
+func TestEveryExperimentRejectsBadScale(t *testing.T) {
+	for _, e := range Experiments() {
+		if _, err := e.Run(Options{Scale: 5}); err == nil {
+			t.Errorf("%s: Scale=5 did not return an error", e.Name)
+		}
+	}
+}

@@ -39,12 +39,23 @@ type WorkloadResult struct {
 	Points []WorkloadPoint
 }
 
+func init() {
+	Register(Experiment{
+		Name: "workload", Order: 160, Section: "§5",
+		Description: "datacenter workloads: energy per byte vs offered load",
+		Run:         func(o Options) (Result, error) { return RunWorkload(o) },
+	})
+}
+
 // RunWorkload measures energy per byte and FCTs for datacenter workloads
 // at several offered loads. Flows spread round-robin over four sender
 // hosts; energy is the sum over senders from experiment start until the
 // last flow completes.
 func RunWorkload(o Options) (WorkloadResult, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return WorkloadResult{}, err
+	}
 	window := sim.Duration(float64(2*sim.Second) * (o.Scale / 0.04))
 	if window < 200*sim.Millisecond {
 		window = 200 * sim.Millisecond
