@@ -1,0 +1,150 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// It exists because this module's determinism and hot-path guarantees —
+// byte-identical same-seed sweeps, replayable cache entries, a
+// zero-allocation event loop — are contracts worth enforcing at build time,
+// and the module deliberately has no third-party dependencies. The kernel
+// mirrors the upstream API shape closely enough that the analyzers under
+// internal/analysis/... would port to x/tools mechanically.
+//
+// Two source directives interact with the kernel:
+//
+//	//greenvet:allow <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line (or the line immediately above it) suppresses the
+// named analyzers' diagnostics there. The reason is mandatory by
+// convention: an allow is a reviewed claim that the construct is safe
+// (e.g. an amortized allocation on a pool refill path).
+//
+//	//greenvet:hotpath
+//
+// in a function's doc comment marks it as a hot-path root for the
+// hotpathalloc analyzer (see that package).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the Pass's package and reports
+// findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the analysis. The returned value is unused by the
+	// driver; it exists to keep the upstream signature.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is the reporting analyzer's name (filled by the kernel).
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run executes one analyzer over one package and returns its diagnostics
+// with //greenvet:allow suppressions applied, sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	allowed := allowDirectives(fset, files)
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if !allowed.covers(fset.Position(d.Pos), a.Name) {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// allowSet maps file → line → analyzer names suppressed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// covers reports whether an allow directive on the diagnostic's line or the
+// line immediately above it names the analyzer.
+func (s allowSet) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+const allowPrefix = "greenvet:allow"
+
+// allowDirectives scans every comment for //greenvet:allow directives.
+func allowDirectives(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// Inspect walks every file in the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

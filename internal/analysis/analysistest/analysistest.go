@@ -1,0 +1,171 @@
+// Package analysistest runs an analyzer over a directory of golden test
+// sources and compares its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only.
+//
+// A testdata file marks each expected diagnostic on the line it occurs:
+//
+//	v := time.Now() // want `time\.Now`
+//
+// Multiple backquoted or quoted regexps on one line expect multiple
+// diagnostics. Every diagnostic must be matched by exactly one want and
+// vice versa; mismatches fail the test with file:line context.
+//
+// Testdata packages may import only the standard library: their imports
+// are resolved through `go list -export`, so the type information is the
+// same the compiler would produce.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"greenenvy/internal/analysis"
+	"greenenvy/internal/analysis/load"
+)
+
+// Run analyzes the one package formed by every .go file in dir and checks
+// its diagnostics against the files' // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("analysistest: no Go files under %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+	exports, err := load.StdlibExports(importList...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer: load.ExportImporter(fset, func(path string) (string, bool) {
+			e, ok := exports[path]
+			return e, ok
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check("greenvet.test/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Run(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	check(t, fset, files, diags)
+}
+
+// want is one expectation: a regexp at a file:line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// wantRE extracts the expectation patterns of a `// want ...` comment:
+// a sequence of backquoted or double-quoted strings.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1) {
+					raw := m[1]
+					if raw == "" {
+						if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+							raw = unq
+						} else {
+							raw = m[2]
+						}
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", relPos(pos), d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", relFile(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func relPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", relFile(pos.Filename), pos.Line, pos.Column)
+}
+
+func relFile(file string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, file); err == nil {
+			return r
+		}
+	}
+	return file
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a named function (a func value, a
+// conversion, a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgFuncName returns the defining package path and name of fn
+// ("time", "Now"), or ok=false for a nil function or one without a
+// package.
+func PkgFuncName(fn *types.Func) (pkgPath, name string, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// RootIdent unwraps selectors, indexes, and parens down to the base
+// identifier of an lvalue or value expression: `a.b[i].c` → `a`.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether the object behind expr's root identifier
+// is declared outside the [lo, hi) source range (e.g. outside a loop body).
+// Expressions whose root cannot be resolved count as declared outside:
+// for the analyzers' purposes an unresolvable sink is the risky case.
+func DeclaredOutside(info *types.Info, e ast.Expr, lo, hi ast.Node) bool {
+	id := RootIdent(e)
+	if id == nil {
+		return true
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() >= hi.End()
+}
+
+// IndexedByLoopVar reports whether dst is an index expression whose index
+// is one of the given loop variables (a per-key bucket write, which is
+// order-independent under map iteration).
+func IndexedByLoopVar(info *types.Info, dst ast.Expr, loopVars ...types.Object) bool {
+	idx, ok := ast.Unparen(dst).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, v := range loopVars {
+		if v != nil && obj == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMapRange reports whether rs ranges over a map value.
+func IsMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// IsString reports whether t's underlying type is a string.
+func IsString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"greenenvy/internal/analysis/analysistest"
+	"greenenvy/internal/analysis/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer)
+}

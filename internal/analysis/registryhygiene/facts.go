@@ -1,0 +1,39 @@
+package registryhygiene
+
+// ExperimentCacheIDs is the shared fact table between static and dynamic
+// enforcement of cache-key hygiene: every experiment registered in package
+// greenenvy maps to the persistent-cache id prefix its repetitions are
+// stored under, or "" for closed-form experiments that never touch the
+// simulation cache.
+//
+// Two consumers keep it honest from opposite directions:
+//
+//   - the registryhygiene analyzer statically requires every
+//     Register(Experiment{Name: ...}) call to have an entry here, and the
+//     non-empty prefixes to appear as string literals in the package (the
+//     cache.NewKey / repeatRuns id sites), so a new experiment cannot
+//     compile without declaring how it keys the cache;
+//   - TestExperimentCacheIDFacts (root package) dynamically requires the
+//     registered set and this table to stay in bijection and the prefixes
+//     to stay collision-free, so an entry cannot go stale either.
+//
+// Figures 5–8 intentionally share the "sweep" id: they are four views over
+// the one CCA sweep dataset and must share its cached repetitions.
+var ExperimentCacheIDs = map[string]string{
+	"fig1":       "fig1/",
+	"fig2":       "fig2/",
+	"fig3":       "fig3/",
+	"fig4":       "fig4/",
+	"fig5":       "sweep",
+	"fig6":       "sweep",
+	"fig7":       "sweep",
+	"fig8":       "sweep",
+	"theorem":    "", // closed form: no simulation, no cache entries
+	"scheduler":  "", // closed form
+	"frontier":   "", // closed form
+	"ablations":  "", // closed form
+	"incast":     "incast/",
+	"samesender": "samesender/",
+	"production": "production/",
+	"workload":   "workload/",
+}

@@ -1,0 +1,23 @@
+package registryhygiene_test
+
+import (
+	"testing"
+
+	"greenenvy/internal/analysis/analysistest"
+	"greenenvy/internal/analysis/registryhygiene"
+)
+
+// TestRegistryhygiene runs the analyzer over the testdata registry with a
+// test-local fact table, exercising every rule: literal metadata, unique
+// names/aliases, fact-table membership, and prefix presence.
+func TestRegistryhygiene(t *testing.T) {
+	a := registryhygiene.New(map[string]string{
+		"good":        "good/",
+		"emptydesc":   "",
+		"nilrun":      "",
+		"dup":         "",
+		"aliased":     "",
+		"ghostprefix": "ghost/",
+	})
+	analysistest.Run(t, "testdata", a)
+}

@@ -1,0 +1,79 @@
+// Package suite declares which analyzer guards which packages: the single
+// source of truth the greenvet driver (standalone and vettool mode alike)
+// consults before running an analyzer over a package.
+//
+// The scoping is deliberate, not a convenience:
+//
+//   - determinism rules (nodeterminism, floatorder) apply to every package
+//     whose output reaches an experiment result — the simulator core, the
+//     protocol stack, the harness/registry root package, stats, plotting —
+//     but not to cmd/ (bench timing legitimately reads the wall clock) or
+//     to rapl/stress (they measure real hardware, which is the point);
+//   - hotpathalloc applies where //greenvet:hotpath roots live: the event
+//     engine and the per-packet path;
+//   - registryhygiene applies only to the root package, where Register
+//     calls and the experiment catalogue live.
+package suite
+
+import (
+	"greenenvy/internal/analysis"
+	"greenenvy/internal/analysis/floatorder"
+	"greenenvy/internal/analysis/hotpathalloc"
+	"greenenvy/internal/analysis/nodeterminism"
+	"greenenvy/internal/analysis/registryhygiene"
+)
+
+// Scoped pairs an analyzer with the packages it applies to.
+type Scoped struct {
+	Analyzer *analysis.Analyzer
+	// Paths are the exact import paths the analyzer runs over.
+	Paths []string
+}
+
+// AppliesTo reports whether the analyzer covers importPath.
+func (s Scoped) AppliesTo(importPath string) bool {
+	for _, p := range s.Paths {
+		if p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// resultAffecting are the packages whose code can change experiment
+// results: everything between a seed and a rendered table/SVG.
+var resultAffecting = []string{
+	"greenenvy",
+	"greenenvy/internal/sim",
+	"greenenvy/internal/netsim",
+	"greenenvy/internal/tcp",
+	"greenenvy/internal/cca",
+	"greenenvy/internal/energy",
+	"greenenvy/internal/iperf",
+	"greenenvy/internal/core",
+	"greenenvy/internal/testbed",
+	"greenenvy/internal/stats",
+	"greenenvy/internal/workload",
+	"greenenvy/internal/plot",
+	"greenenvy/internal/cache",
+}
+
+// hotPath are the packages containing //greenvet:hotpath roots: the event
+// engine and everything on the per-packet path.
+var hotPath = []string{
+	"greenenvy/internal/sim",
+	"greenenvy/internal/netsim",
+	"greenenvy/internal/tcp",
+	"greenenvy/internal/cca",
+	"greenenvy/internal/energy",
+}
+
+// Suite returns every analyzer with its package scope.
+func Suite() []Scoped {
+	return []Scoped{
+		{Analyzer: nodeterminism.Analyzer, Paths: resultAffecting},
+		{Analyzer: floatorder.Analyzer, Paths: resultAffecting},
+		{Analyzer: hotpathalloc.Analyzer, Paths: hotPath},
+		{Analyzer: registryhygiene.Analyzer, Paths: []string{"greenenvy"}},
+	}
+}

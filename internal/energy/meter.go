@@ -53,6 +53,8 @@ func (m *Meter) SetBaseLoad(frac float64) {
 func (m *Meter) BaseLoad() float64 { return m.baseUtil }
 
 // AddWork reports coreSeconds of CPU work performed "now".
+//
+//greenvet:hotpath
 func (m *Meter) AddWork(coreSeconds float64) {
 	if coreSeconds < 0 {
 		panic("energy: negative work")
@@ -65,6 +67,8 @@ func (m *Meter) AddWork(coreSeconds float64) {
 // time. It must be called often enough that utilization is roughly constant
 // within each interval; the testbed calls it every millisecond and at every
 // phase boundary.
+//
+//greenvet:hotpath
 func (m *Meter) Sync() {
 	now := m.engine.Now()
 	dt := now - m.last
@@ -102,6 +106,8 @@ func NewAccount(m *Meter, ccaName string) *Account {
 // SentData reports transmission of a data segment. outstandingBytes is the
 // sender's unacknowledged window at transmit time, which scales the
 // memory-pressure component of the cost model.
+//
+//greenvet:hotpath
 func (a *Account) SentData(retransmit bool, outstandingBytes int) {
 	if a == nil {
 		return
@@ -117,6 +123,8 @@ func (a *Account) SentData(retransmit bool, outstandingBytes int) {
 }
 
 // SentAck reports transmission of a pure ACK.
+//
+//greenvet:hotpath
 func (a *Account) SentAck() {
 	if a == nil {
 		return
@@ -125,6 +133,8 @@ func (a *Account) SentAck() {
 }
 
 // ReceivedData reports receipt of a data segment.
+//
+//greenvet:hotpath
 func (a *Account) ReceivedData() {
 	if a == nil {
 		return
@@ -133,6 +143,8 @@ func (a *Account) ReceivedData() {
 }
 
 // ReceivedAck reports receipt and congestion-control processing of an ACK.
+//
+//greenvet:hotpath
 func (a *Account) ReceivedAck() {
 	if a == nil {
 		return

@@ -53,6 +53,8 @@ func NewDropTail(capBytes, markBytes int) *DropTail {
 }
 
 // Enqueue implements Queue.
+//
+//greenvet:hotpath
 func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.CapBytes > 0 && q.bytes+p.WireSize > q.CapBytes {
 		q.stats.DroppedPackets++
@@ -73,6 +75,8 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 }
 
 // Dequeue implements Queue.
+//
+//greenvet:hotpath
 func (q *DropTail) Dequeue() *Packet {
 	p := q.pkts.Pop()
 	if p == nil {

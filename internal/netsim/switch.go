@@ -49,6 +49,8 @@ func (s *Switch) Connect(dst NodeID, out Handler) {
 func (s *Switch) Port(dst NodeID) Handler { return s.ports[dst] }
 
 // HandlePacket implements Handler by forwarding to the port for p.Dst.
+//
+//greenvet:hotpath
 func (s *Switch) HandlePacket(p *Packet) {
 	out, ok := s.ports[p.Dst]
 	if !ok {
@@ -105,6 +107,8 @@ func (h *Host) Attach(id FlowID, fh Handler) { h.flows[id] = fh }
 func (h *Host) Detach(id FlowID) { delete(h.flows, id) }
 
 // Send transmits a packet from this host into the network.
+//
+//greenvet:hotpath
 func (h *Host) Send(p *Packet) {
 	if h.egress == nil {
 		panic(fmt.Sprintf("netsim: host %q has no egress", h.Name))
@@ -121,6 +125,8 @@ func (h *Host) Send(p *Packet) {
 // HandlePacket implements Handler: deliver to the flow's transport handler.
 // Packets for unknown flows are counted and dropped (the flow may already
 // have closed).
+//
+//greenvet:hotpath
 func (h *Host) HandlePacket(p *Packet) {
 	h.RxPackets++
 	h.RxBytes += uint64(p.WireSize)

@@ -1,6 +1,10 @@
 package netsim
 
-import "greenenvy/internal/sim"
+import (
+	"sort"
+
+	"greenenvy/internal/sim"
+)
 
 // ThroughputSample is one point of a per-flow throughput time series.
 type ThroughputSample struct {
@@ -38,6 +42,8 @@ func NewThroughputMonitor(engine *sim.Engine, interval sim.Duration) *Throughput
 }
 
 // Observe records payload bytes delivered for a flow.
+//
+//greenvet:hotpath
 func (m *ThroughputMonitor) Observe(flow FlowID, payloadBytes int) {
 	m.counts[flow] += uint64(payloadBytes)
 }
@@ -73,5 +79,6 @@ func (m *ThroughputMonitor) Flows() []FlowID {
 	for id := range m.series {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }

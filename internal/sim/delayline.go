@@ -54,6 +54,8 @@ func (d *DelayLine[T]) Len() int { return d.n }
 // be nondecreasing across calls while the line is non-empty; violating that
 // (e.g. by mutating a link's propagation delay mid-run) panics rather than
 // silently reordering deliveries.
+//
+//greenvet:hotpath
 func (d *DelayLine[T]) Schedule(item T, at Time) {
 	e := d.eng
 	if at < e.now {
@@ -74,6 +76,8 @@ func (d *DelayLine[T]) Schedule(item T, at Time) {
 }
 
 // fire delivers the head item and re-arms for the next one.
+//
+//greenvet:hotpath
 func (d *DelayLine[T]) fire() {
 	it := d.popRing()
 	d.deliver(it.item)

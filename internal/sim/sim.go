@@ -80,6 +80,8 @@ func (e *Event) Time() Time { return e.at }
 // lazily marked dead and stays in the queue until its time comes — or until
 // dead events outnumber live ones, when the engine compacts them out in one
 // pass. Dead events do not count toward Pending.
+//
+//greenvet:hotpath
 func (e *Event) Cancel() {
 	if e.idx < 0 || e.dead {
 		return
@@ -138,7 +140,7 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &Event{eng: e, idx: -1}
+	return &Event{eng: e, idx: -1} //greenvet:allow hotpathalloc pool refill: one allocation per peak concurrent event, then recycled forever
 }
 
 // release returns a fired or collected event to the free list, dropping its
@@ -146,12 +148,14 @@ func (e *Engine) alloc() *Event {
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.dead = false
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //greenvet:allow hotpathalloc free list grows to the peak live-event count, then growth stops
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t less
 // than Now) panics: it would make the clock run backwards, which is always a
 // bug in the caller.
+//
+//greenvet:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -177,6 +181,8 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // step executes the next live event. It reports false when the queue is
 // exhausted.
+//
+//greenvet:hotpath
 func (e *Engine) step() bool {
 	for len(e.events) > 0 {
 		ev := e.popMin()
@@ -252,7 +258,7 @@ func before(a, b *Event) bool {
 // push inserts ev (whose at/seq are already set) into the heap.
 func (e *Engine) push(ev *Event) {
 	ev.idx = int32(len(e.events))
-	e.events = append(e.events, ev)
+	e.events = append(e.events, ev) //greenvet:allow hotpathalloc heap storage is amortized to the peak pending-event count
 	e.siftUp(len(e.events) - 1)
 }
 
@@ -380,7 +386,7 @@ func (e *Engine) maybeCompact() {
 			continue
 		}
 		ev.idx = int32(len(live))
-		live = append(live, ev)
+		live = append(live, ev) //greenvet:allow hotpathalloc appends into h[:0]: reuses the existing backing array, never grows
 	}
 	for i := len(live); i < len(h); i++ {
 		h[i] = nil

@@ -48,6 +48,8 @@ func (t *Timer) When() Time {
 // dead event left behind. Rearming takes a fresh scheduling sequence
 // number, so relative FIFO order against other events matches cancelling
 // and scheduling anew.
+//
+//greenvet:hotpath
 func (t *Timer) ResetAt(at Time) {
 	e := t.eng
 	if at < e.now {
@@ -73,6 +75,8 @@ func (t *Timer) Reset(d Duration) {
 // Stop disarms the timer. Unlike Event.Cancel it removes the event from the
 // queue eagerly, so a stopped timer leaves nothing behind. Stopping a timer
 // that is not armed is a no-op.
+//
+//greenvet:hotpath
 func (t *Timer) Stop() {
 	if t.ev.idx < 0 {
 		return

@@ -88,6 +88,7 @@ func NewReceiver(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, src 
 // delivered so far).
 func (r *Receiver) RcvNxt() uint64 { return r.rcvNxt }
 
+//greenvet:hotpath
 func (r *Receiver) handleData(p *netsim.Packet) {
 	if p.DataLen == 0 {
 		return // stray ACK or control packet
@@ -116,6 +117,7 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 	r.process(p)
 }
 
+//greenvet:hotpath
 func (r *Receiver) process(p *netsim.Packet) {
 	r.SegmentsRecvd++
 	if p.Flags.Has(netsim.FlagINT) {
@@ -129,6 +131,7 @@ func (r *Receiver) process(p *netsim.Packet) {
 			if r.rxFreeAt > now {
 				backlog = int(int64(r.rxFreeAt-now) * int64(p.WireSize) / int64(r.cfg.RxPathCost))
 			}
+			//greenvet:allow hotpathalloc receive-path INT hop is stamped only when RxPathCost modeling is on (HPCC runs)
 			p.INT = append(p.INT, netsim.INTHop{
 				QueueBytes: backlog,
 				TxBytes:    r.rxBytes,
@@ -201,10 +204,10 @@ func (r *Receiver) process(p *netsim.Packet) {
 func (r *Receiver) noteRecent(seq uint64) {
 	// Drop stale duplicates of the same position.
 	out := r.recent[:0]
-	out = append(out, seq)
+	out = append(out, seq) //greenvet:allow hotpathalloc capped at 8 entries and reuses recent's backing array after warm-up
 	for _, k := range r.recent {
 		if k != seq && len(out) < 8 {
-			out = append(out, k)
+			out = append(out, k) //greenvet:allow hotpathalloc capped at 8 entries and reuses recent's backing array after warm-up
 		}
 	}
 	r.recent = out
@@ -232,7 +235,7 @@ func (r *Receiver) sackBlocks(max int) []byteRange {
 		if dup {
 			continue
 		}
-		out = append(out, rg)
+		out = append(out, rg) //greenvet:allow hotpathalloc SACK blocks exist only during loss episodes, never in steady state
 		if len(out) == max {
 			return out
 		}
@@ -247,7 +250,7 @@ func (r *Receiver) sackBlocks(max int) []byteRange {
 			}
 		}
 		if !dup {
-			out = append(out, rg)
+			out = append(out, rg) //greenvet:allow hotpathalloc SACK blocks exist only during loss episodes, never in steady state
 			if len(out) == max {
 				break
 			}
@@ -264,6 +267,7 @@ func (r *Receiver) armDelAck(echo sim.Time) {
 	r.delack.Reset(r.cfg.DelAckTimeout)
 }
 
+//greenvet:hotpath
 func (r *Receiver) onDelAck() {
 	if r.unacked > 0 {
 		r.sendAck(r.delackEcho)
@@ -273,6 +277,7 @@ func (r *Receiver) onDelAck() {
 func (r *Receiver) sendAck(echo sim.Time) {
 	r.delack.Stop()
 	r.unacked = 0
+	//greenvet:allow hotpathalloc one Packet per ACK by design: its lifetime spans links and queues, so pooling belongs to a dedicated packet-pool change
 	ack := &netsim.Packet{
 		Flow:     r.flow,
 		Dst:      r.src,
@@ -284,7 +289,7 @@ func (r *Receiver) sendAck(echo sim.Time) {
 		EchoTS:   echo,
 	}
 	for _, b := range r.sackBlocks(4) {
-		ack.SACK = append(ack.SACK, netsim.SACKBlock{Start: b.Start, End: b.End})
+		ack.SACK = append(ack.SACK, netsim.SACKBlock{Start: b.Start, End: b.End}) //greenvet:allow hotpathalloc SACK blocks exist only during loss episodes, never in steady state
 	}
 	if len(r.lastINT) > 0 {
 		ack.INT = r.lastINT

@@ -196,6 +196,7 @@ func (s *Sender) seg(seq uint64) *segment {
 
 // --- receive path ---
 
+//greenvet:hotpath
 func (s *Sender) handleAck(p *netsim.Packet) {
 	if s.done || !p.Flags.Has(netsim.FlagACK) {
 		return
@@ -376,7 +377,7 @@ func (s *Sender) inferLoss() {
 			s.pipe -= sg.length
 			sg.counted = false
 		}
-		s.retxQueue = append(s.retxQueue, sg.seq)
+		s.retxQueue = append(s.retxQueue, sg.seq) //greenvet:allow hotpathalloc retransmission queue fills only during loss episodes
 		s.noteCongestion(sg.seq)
 	}
 }
@@ -421,13 +422,14 @@ func (s *Sender) expireRetransmissions(now sim.Time) {
 			s.pipe -= sg.length
 			sg.counted = false
 		}
-		s.retxQueue = append(s.retxQueue, sg.seq)
+		s.retxQueue = append(s.retxQueue, sg.seq) //greenvet:allow hotpathalloc retransmission queue fills only during loss episodes
 		s.noteCongestion(sg.seq)
 	}
 }
 
 // --- transmit path ---
 
+//greenvet:hotpath
 func (s *Sender) trySend() {
 	if s.done {
 		return
@@ -487,7 +489,7 @@ func (s *Sender) sendOne(now sim.Time) bool {
 		s.segBase = s.sndNxt
 		s.lossScan = 0
 	}
-	s.segs = append(s.segs, segment{seq: s.sndNxt, length: length})
+	s.segs = append(s.segs, segment{seq: s.sndNxt, length: length}) //greenvet:allow hotpathalloc segment table growth is amortized by append doubling over the transfer
 	sg := &s.segs[len(s.segs)-1]
 	s.sndNxt += uint64(length)
 	s.transmit(sg, now, false)
@@ -504,6 +506,7 @@ func (s *Sender) transmit(sg *segment, now sim.Time, retx bool) {
 	s.pipe += sg.length
 
 	wire := sg.length + HeaderBytes
+	//greenvet:allow hotpathalloc one Packet per segment by design: its lifetime spans links and queues, so pooling belongs to a dedicated packet-pool change
 	p := &netsim.Packet{
 		Flow:       s.flow,
 		Dst:        s.dst,
@@ -522,7 +525,7 @@ func (s *Sender) transmit(sg *segment, now sim.Time, retx bool) {
 	s.DataSent++
 	if retx {
 		s.Retransmits++
-		s.retxWatch = append(s.retxWatch, retxWatchEntry{seq: sg.seq, at: now})
+		s.retxWatch = append(s.retxWatch, retxWatchEntry{seq: sg.seq, at: now}) //greenvet:allow hotpathalloc watch entries accrue only on retransmissions
 	}
 	s.account.SentData(retx, int(s.sndNxt-s.sndUna))
 	s.host.Send(p)
@@ -589,6 +592,7 @@ func (s *Sender) armTLP() {
 	s.tlpTimer.Reset(pto)
 }
 
+//greenvet:hotpath
 func (s *Sender) onTLP() {
 	if s.done || s.pipe == 0 || s.delivered != s.tlpArmedAt {
 		return // progress happened; no probe needed
@@ -627,6 +631,7 @@ func (s *Sender) armRTO() {
 	s.rtoTimer.Reset(d)
 }
 
+//greenvet:hotpath
 func (s *Sender) onRTO() {
 	if s.done {
 		return
@@ -648,7 +653,7 @@ func (s *Sender) onRTO() {
 			s.pipe -= sg.length
 			sg.counted = false
 		}
-		s.retxQueue = append(s.retxQueue, sg.seq)
+		s.retxQueue = append(s.retxQueue, sg.seq) //greenvet:allow hotpathalloc retransmission queue fills only during loss episodes
 	}
 	s.recovery = true
 	s.recoveryPoint = s.sndNxt
