@@ -67,6 +67,7 @@ var benchmarks = []struct {
 	{"SweepCacheWarm", perf.BenchSweepCacheWarm},
 	{"SweepCacheCold", perf.BenchSweepCacheCold},
 	{"DumbbellTransfer", perf.BenchDumbbellTransfer},
+	{"FatTreeIncast", perf.BenchFatTreeIncast},
 }
 
 func main() {

@@ -268,6 +268,44 @@ func (r WorkloadResult) SVG() (string, error) {
 	}.SVG()
 }
 
+// SVG renders the fat-tree incast sweep.
+func (r FatTreeIncastResult) SVG() (string, error) {
+	measured := plot.Series{Name: "measured"}
+	analytic := plot.Series{Name: "analytic"}
+	for _, p := range r.Points {
+		measured.X = append(measured.X, float64(p.Senders))
+		measured.Y = append(measured.Y, p.SavingsPct)
+		analytic.X = append(analytic.X, float64(p.Senders))
+		analytic.Y = append(analytic.Y, p.AnalyticPct)
+	}
+	return plot.Chart{
+		Title:  "Fat-tree incast — serial-schedule savings vs cross-rack fan-in",
+		XLabel: "synchronized senders (spread across racks)",
+		YLabel: "energy savings (%)",
+		Kind:   "line",
+		Series: []plot.Series{measured, analytic},
+	}.SVG()
+}
+
+// SVG renders the cross-rack fairness sweep.
+func (r CrossRackResult) SVG() (string, error) {
+	measured := plot.Series{Name: "measured"}
+	analytic := plot.Series{Name: "analytic"}
+	for _, p := range r.Points {
+		measured.X = append(measured.X, p.Fraction*100)
+		measured.Y = append(measured.Y, p.SavingsPct)
+		analytic.X = append(analytic.X, p.Fraction*100)
+		analytic.Y = append(analytic.Y, p.AnalyticSavingsPct)
+	}
+	return plot.Chart{
+		Title:  "Cross-rack — energy savings vs core-link bandwidth fraction to flow 1",
+		XLabel: "fraction of the shared core link allocated to flow 1 (%)",
+		YLabel: "energy savings over fair allocation (%)",
+		Kind:   "line",
+		Series: []plot.Series{measured, analytic},
+	}.SVG()
+}
+
 // SVG renders the incast extension sweep.
 func (r IncastResult) SVG() (string, error) {
 	measured := plot.Series{Name: "measured"}

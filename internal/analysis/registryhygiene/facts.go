@@ -20,20 +20,22 @@ package registryhygiene
 // Figures 5–8 intentionally share the "sweep" id: they are four views over
 // the one CCA sweep dataset and must share its cached repetitions.
 var ExperimentCacheIDs = map[string]string{
-	"fig1":       "fig1/",
-	"fig2":       "fig2/",
-	"fig3":       "fig3/",
-	"fig4":       "fig4/",
-	"fig5":       "sweep",
-	"fig6":       "sweep",
-	"fig7":       "sweep",
-	"fig8":       "sweep",
-	"theorem":    "", // closed form: no simulation, no cache entries
-	"scheduler":  "", // closed form
-	"frontier":   "", // closed form
-	"ablations":  "", // closed form
-	"incast":     "incast/",
-	"samesender": "samesender/",
-	"production": "production/",
-	"workload":   "workload/",
+	"fig1":           "fig1/",
+	"fig2":           "fig2/",
+	"fig3":           "fig3/",
+	"fig4":           "fig4/",
+	"fig5":           "sweep",
+	"fig6":           "sweep",
+	"fig7":           "sweep",
+	"fig8":           "sweep",
+	"theorem":        "", // closed form: no simulation, no cache entries
+	"scheduler":      "", // closed form
+	"frontier":       "", // closed form
+	"ablations":      "", // closed form
+	"incast":         "incast/",
+	"fattree-incast": "fattree-incast/",
+	"crossrack":      "crossrack/",
+	"samesender":     "samesender/",
+	"production":     "production/",
+	"workload":       "workload/",
 }

@@ -19,3 +19,5 @@ func BenchmarkDropTailQueue(b *testing.B) { perf.BenchDropTailQueue(b) }
 func BenchmarkDRRQueue(b *testing.B) { perf.BenchDRRQueue(b) }
 
 func BenchmarkDumbbellTransfer(b *testing.B) { perf.BenchDumbbellTransfer(b) }
+
+func BenchmarkFatTreeIncast(b *testing.B) { perf.BenchFatTreeIncast(b) }

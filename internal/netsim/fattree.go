@@ -1,0 +1,326 @@
+package netsim
+
+import (
+	"fmt"
+
+	"greenenvy/internal/sim"
+)
+
+// This file builds the k-ary fat-tree (Al-Fares et al., SIGCOMM 2008) the
+// ROADMAP's datacenter-scale experiments run on: k pods of k/2 edge and k/2
+// aggregation switches, (k/2)² core switches, and k³/4 hosts. Routing is
+// the switch's table machinery — exact routes for a rack's own hosts, range
+// routes for pods, and ECMP over the equal-cost uplinks — so the topology
+// is wired entirely from the existing Switch/Link/Host primitives.
+
+// PortTier classifies a fat-tree port by its tier and direction.
+type PortTier int
+
+const (
+	// TierHostUp is the host's NIC toward its edge switch.
+	TierHostUp PortTier = iota
+	// TierHostDown is the edge switch port toward one host (the incast
+	// bottleneck in fan-in experiments).
+	TierHostDown
+	// TierEdgeUp is an edge switch uplink toward one aggregation switch.
+	TierEdgeUp
+	// TierAggDown is an aggregation switch port toward one edge switch.
+	TierAggDown
+	// TierAggUp is an aggregation switch uplink toward one core switch.
+	TierAggUp
+	// TierCoreDown is a core switch port toward one pod (the shared
+	// bottleneck in cross-rack experiments).
+	TierCoreDown
+)
+
+// String names the tier for link names and diagnostics.
+func (t PortTier) String() string {
+	switch t {
+	case TierHostUp:
+		return "host-up"
+	case TierHostDown:
+		return "host-down"
+	case TierEdgeUp:
+		return "edge-up"
+	case TierAggDown:
+		return "agg-down"
+	case TierAggUp:
+		return "agg-up"
+	case TierCoreDown:
+		return "core-down"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// FatTreePort identifies one port while the tree is being wired. The
+// queue-discipline hook receives it so experiments can install a special
+// queue (a DRR, a tiny buffer) on exactly the ports they study.
+type FatTreePort struct {
+	// Tier is the port's tier and direction.
+	Tier PortTier
+	// Pod is the pod the port's switch belongs to; for TierCoreDown it is
+	// the destination pod; -1 when not applicable.
+	Pod int
+	// Switch is the owning switch's index within its tier (edge/agg:
+	// within the pod; core: global).
+	Switch int
+	// Host is the attached host for TierHostUp/TierHostDown; -1 otherwise.
+	Host NodeID
+	// Port is the ordinal among the switch's ports of this tier (the
+	// uplink number j, the downstream edge index, ...).
+	Port int
+}
+
+// FatTreeConfig describes a k-ary fat-tree.
+type FatTreeConfig struct {
+	// K is the tree arity: k pods, k/2 edge + k/2 aggregation switches per
+	// pod, (k/2)² cores, k³/4 hosts. Must be even and >= 2.
+	K int
+	// HostBps is the rate of host↔edge links.
+	HostBps int64
+	// EdgeAggBps is the rate of edge↔aggregation links.
+	EdgeAggBps int64
+	// AggCoreBps is the rate of aggregation↔core links.
+	AggCoreBps int64
+	// LinkDelay is the one-way propagation delay of every link.
+	LinkDelay sim.Duration
+	// SwitchDelay is the pipeline latency of every switch.
+	SwitchDelay sim.Duration
+	// BufferBytes sizes the default drop-tail queue on switch egress ports
+	// (0 picks 1 MiB). Host NIC queues are unbounded, as on the dumbbell.
+	BufferBytes int
+	// MarkBytes is the DCTCP ECN threshold for default switch queues
+	// (0 = no marking).
+	MarkBytes int
+	// ECMPSeed seeds the per-switch flow-hash salts. Same seed, same
+	// spreading — part of the same-seed-same-bytes contract.
+	ECMPSeed uint64
+	// NewQueue, when non-nil, supplies the queue discipline per port;
+	// returning nil falls back to the default for that port.
+	NewQueue func(FatTreePort) Queue
+}
+
+// DefaultFatTree returns a k-ary tree with 10 Gb/s links at every tier,
+// microsecond-scale datacenter latencies, and 1 MiB port buffers — the §3
+// testbed's parameters extended to a fabric.
+func DefaultFatTree(k int) FatTreeConfig {
+	return FatTreeConfig{
+		K:           k,
+		HostBps:     10_000_000_000,
+		EdgeAggBps:  10_000_000_000,
+		AggCoreBps:  10_000_000_000,
+		LinkDelay:   5 * sim.Microsecond,
+		SwitchDelay: sim.Microsecond,
+		BufferBytes: 1 << 20,
+	}
+}
+
+// FatTree is an assembled fat-tree topology. Hosts are numbered 0..k³/4-1
+// in pod-major order: host h lives in pod h/(k²/4), on edge switch
+// (h mod k²/4)/(k/2).
+type FatTree struct {
+	Engine *sim.Engine
+	Config FatTreeConfig
+
+	// Hosts, indexed by NodeID.
+	Hosts []*Host
+	// Edges and Aggs are flattened per pod: index pod*(k/2)+i.
+	Edges []*Switch
+	Aggs  []*Switch
+	// Cores are the (k/2)² core switches; core c uplinks from agg c/(k/2)
+	// of every pod.
+	Cores []*Switch
+
+	// hostDown[h] is the edge→host link delivering to host h.
+	hostDown []*Link
+}
+
+// NewFatTree wires up the topology described by cfg.
+func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("netsim: fat-tree arity k=%d must be even and >= 2", cfg.K))
+	}
+	if cfg.HostBps <= 0 || cfg.EdgeAggBps <= 0 || cfg.AggCoreBps <= 0 {
+		panic("netsim: fat-tree link rates must be positive")
+	}
+	if cfg.BufferBytes == 0 {
+		cfg.BufferBytes = 1 << 20
+	}
+
+	k := cfg.K
+	half := k / 2
+	hostsPerPod := half * half
+	numHosts := k * hostsPerPod
+
+	ft := &FatTree{
+		Engine:   engine,
+		Config:   cfg,
+		Hosts:    make([]*Host, numHosts),
+		Edges:    make([]*Switch, k*half),
+		Aggs:     make([]*Switch, k*half),
+		Cores:    make([]*Switch, half*half),
+		hostDown: make([]*Link, numHosts),
+	}
+
+	queueFor := func(port FatTreePort) Queue {
+		if cfg.NewQueue != nil {
+			if q := cfg.NewQueue(port); q != nil {
+				return q
+			}
+		}
+		if port.Tier == TierHostUp {
+			return NewDropTail(0, 0)
+		}
+		return NewDropTail(cfg.BufferBytes, cfg.MarkBytes)
+	}
+
+	// Per-switch ECMP salts: a Mix64 chain over the seed and a stable
+	// switch ordinal, so different switches decorrelate the same flow
+	// population while staying a pure function of the seed.
+	ordinal := uint64(0)
+	salt := func() uint64 {
+		ordinal++
+		return sim.Mix64(cfg.ECMPSeed ^ ordinal*0x9E3779B97F4A7C15)
+	}
+	// The longest path crosses edge, agg, core, agg, edge: 5 switch hops.
+	// One hop of margin turns a wiring mistake into a prompt diagnostic.
+	const ttl = 6
+	newSwitch := func(name string) *Switch {
+		s := NewSwitch(engine, name, cfg.SwitchDelay)
+		s.SetTTL(ttl)
+		s.SetECMPSalt(salt())
+		return s
+	}
+
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			ft.Edges[p*half+i] = newSwitch(fmt.Sprintf("edge-p%d-e%d", p, i))
+			ft.Aggs[p*half+i] = newSwitch(fmt.Sprintf("agg-p%d-a%d", p, i))
+		}
+	}
+	for c := range ft.Cores {
+		ft.Cores[c] = newSwitch(fmt.Sprintf("core-%d", c))
+	}
+
+	// Hosts and the host↔edge tier.
+	for h := 0; h < numHosts; h++ {
+		p := h / hostsPerPod
+		e := (h % hostsPerPod) / half
+		edge := ft.Edges[p*half+e]
+		host := NewHost(NodeID(h), fmt.Sprintf("h%d", h))
+		ft.Hosts[h] = host
+
+		up := FatTreePort{Tier: TierHostUp, Pod: p, Switch: e, Host: NodeID(h), Port: h % half}
+		host.SetEgress(NewLink(engine, fmt.Sprintf("h%d-up", h), cfg.HostBps, cfg.LinkDelay, queueFor(up), edge))
+
+		down := FatTreePort{Tier: TierHostDown, Pod: p, Switch: e, Host: NodeID(h), Port: h % half}
+		l := NewLink(engine, fmt.Sprintf("%s->h%d", edge.Name, h), cfg.HostBps, cfg.LinkDelay, queueFor(down), host)
+		ft.hostDown[h] = l
+		edge.Connect(NodeID(h), l)
+	}
+
+	// Edge uplinks: every edge reaches each of its pod's aggs; all other
+	// destinations ECMP across them (the exact host routes above win for
+	// the rack's own hosts).
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			edge := ft.Edges[p*half+e]
+			ups := make([]Handler, half)
+			for a := 0; a < half; a++ {
+				port := FatTreePort{Tier: TierEdgeUp, Pod: p, Switch: e, Host: -1, Port: a}
+				ups[a] = NewLink(engine, fmt.Sprintf("%s->%s", edge.Name, ft.Aggs[p*half+a].Name),
+					cfg.EdgeAggBps, cfg.LinkDelay, queueFor(port), ft.Aggs[p*half+a])
+			}
+			edge.ConnectRange(0, NodeID(numHosts-1), ups...)
+		}
+	}
+
+	// Agg tier: per-edge host ranges downward; everything else ECMPs
+	// across the agg's core uplinks (the narrower pod-local ranges win).
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			agg := ft.Aggs[p*half+a]
+			for e := 0; e < half; e++ {
+				lo := NodeID(p*hostsPerPod + e*half)
+				port := FatTreePort{Tier: TierAggDown, Pod: p, Switch: a, Host: -1, Port: e}
+				down := NewLink(engine, fmt.Sprintf("%s->%s", agg.Name, ft.Edges[p*half+e].Name),
+					cfg.EdgeAggBps, cfg.LinkDelay, queueFor(port), ft.Edges[p*half+e])
+				agg.ConnectRange(lo, lo+NodeID(half-1), down)
+			}
+			ups := make([]Handler, half)
+			for j := 0; j < half; j++ {
+				core := ft.Cores[a*half+j]
+				port := FatTreePort{Tier: TierAggUp, Pod: p, Switch: a, Host: -1, Port: j}
+				ups[j] = NewLink(engine, fmt.Sprintf("%s->%s", agg.Name, core.Name),
+					cfg.AggCoreBps, cfg.LinkDelay, queueFor(port), core)
+			}
+			agg.ConnectRange(0, NodeID(numHosts-1), ups...)
+		}
+	}
+
+	// Core tier: one downlink per pod, to the agg this core belongs to.
+	// No default route — an address outside the tree is a counted drop.
+	for c, core := range ft.Cores {
+		a := c / half
+		for p := 0; p < k; p++ {
+			agg := ft.Aggs[p*half+a]
+			port := FatTreePort{Tier: TierCoreDown, Pod: p, Switch: c, Host: -1, Port: p}
+			down := NewLink(engine, fmt.Sprintf("%s->%s", core.Name, agg.Name),
+				cfg.AggCoreBps, cfg.LinkDelay, queueFor(port), agg)
+			core.ConnectRange(NodeID(p*hostsPerPod), NodeID((p+1)*hostsPerPod-1), down)
+		}
+	}
+	return ft
+}
+
+// NumHosts returns k³/4.
+func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
+
+// Pod returns the pod index of host h.
+func (ft *FatTree) Pod(h NodeID) int {
+	half := ft.Config.K / 2
+	return int(h) / (half * half)
+}
+
+// HostDownlink returns the edge→host link delivering to h: the port whose
+// queue an incast converges on.
+func (ft *FatTree) HostDownlink(h NodeID) *Link { return ft.hostDown[h] }
+
+// Switches returns every switch in the fabric (edges, aggs, cores).
+func (ft *FatTree) Switches() []*Switch {
+	out := make([]*Switch, 0, len(ft.Edges)+len(ft.Aggs)+len(ft.Cores))
+	out = append(out, ft.Edges...)
+	out = append(out, ft.Aggs...)
+	return append(out, ft.Cores...)
+}
+
+// PathFor returns the links a packet of the given flow tuple traverses from
+// src to dst, resolved through the same tables and ECMP hashes forwarding
+// uses, without injecting traffic. Experiments use it to find flows that
+// collide on a particular core link. It returns nil if the walk leaves the
+// routed fabric.
+func (ft *FatTree) PathFor(flow FlowID, src, dst NodeID) []*Link {
+	if int(src) >= len(ft.Hosts) {
+		return nil
+	}
+	l, ok := ft.Hosts[src].egress.(*Link)
+	if !ok {
+		return nil
+	}
+	path := []*Link{l}
+	for hops := 0; hops < 8; hops++ {
+		sw, ok := l.Dst().(*Switch)
+		if !ok {
+			return path // reached a host
+		}
+		out := sw.RouteFor(flow, src, dst)
+		if out == nil {
+			return nil
+		}
+		if l, ok = out.(*Link); !ok {
+			return nil
+		}
+		path = append(path, l)
+	}
+	return nil
+}

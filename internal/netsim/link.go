@@ -60,6 +60,10 @@ func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration,
 // stats inspection).
 func (l *Link) Queue() Queue { return l.queue }
 
+// Dst returns the handler at the far end of the link. Topology code uses it
+// to walk a flow's forwarding path hop by hop.
+func (l *Link) Dst() Handler { return l.dst }
+
 // SerializationTime returns the time to clock size bytes onto the wire.
 func (l *Link) SerializationTime(size int) sim.Duration {
 	return sim.Duration(int64(size) * 8 * int64(sim.Second) / l.RateBps)

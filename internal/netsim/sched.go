@@ -38,6 +38,7 @@ type drrFlow struct {
 	bytes     int
 	inRing    bool
 	isServing bool // currently at the head of the ring mid-quantum
+	closed    bool // released while backlogged; reclaim once the queue drains
 }
 
 // NewDRR returns a weighted fair queue with the given shared byte capacity
@@ -83,6 +84,33 @@ func (q *DRR) flow(id FlowID) *drrFlow {
 	}
 	return f
 }
+
+// Release reclaims the per-flow state auto-created by Enqueue/SetWeight once
+// a flow tears down. Without it, long churn sweeps (incast with thousands of
+// short flows) grow the flow table without bound. An idle flow is removed
+// immediately; a backlogged flow is marked closed and reclaimed as soon as
+// its queue drains, so no buffered packet is ever discarded by teardown. A
+// packet arriving after Release (a stray retransmit) simply re-creates the
+// flow at the default weight.
+func (q *DRR) Release(id FlowID) {
+	f, ok := q.flows[id]
+	if !ok {
+		return
+	}
+	if f.pkts.Len() > 0 {
+		f.closed = true
+		return
+	}
+	if f.inRing {
+		q.removeFromRings(f)
+	}
+	delete(q.flows, id)
+}
+
+// FlowTableSize reports how many flows currently hold scheduler state,
+// including closed-but-draining flows. Tests use it to prove churn runs
+// hold a steady-state table size.
+func (q *DRR) FlowTableSize() int { return len(q.flows) }
 
 func (q *DRR) insert(f *drrFlow) {
 	f.inRing = true
@@ -182,6 +210,9 @@ func (q *DRR) dequeueRing(ring *[]*drrFlow, useDeficit bool) *Packet {
 			f.inRing = false
 			f.isServing = false
 			f.deficit = 0
+			if f.closed {
+				delete(q.flows, f.id)
+			}
 		}
 		return head
 	}

@@ -2,14 +2,18 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"greenenvy/internal/sim"
 )
 
 // Switch is an output-queued store-and-forward switch, the role the Intel
-// Tofino plays in the paper's testbed. Each destination node is reached
-// through one output port (a Link with its own queue discipline); the
-// switch itself adds only a small fixed pipeline latency.
+// Tofino plays in the paper's testbed. Forwarding is table-driven: exact
+// per-node routes (the dumbbell's one-port-per-host wiring) plus range
+// routes over contiguous NodeID blocks (a fat-tree pod or rack), where a
+// range route may carry several equal-cost next hops resolved by a
+// deterministic ECMP hash. The switch itself adds only a small fixed
+// pipeline latency.
 type Switch struct {
 	Name string
 	// PipelineDelay models the forwarding pipeline (sub-microsecond on a
@@ -17,12 +21,48 @@ type Switch struct {
 	PipelineDelay sim.Duration
 
 	engine *sim.Engine
-	ports  map[NodeID]Handler
+	// exact maps a destination node to its output port; it wins over any
+	// range route (a /32 in longest-prefix terms).
+	exact map[NodeID]Handler
+	// ranges holds interval routes sorted by width then lower bound, so a
+	// linear scan returns the narrowest covering range first — the
+	// longest-prefix-match rule expressed over [lo, hi] blocks. Fat-tree
+	// tables hold a handful of entries, so the scan beats tree structures.
+	ranges []rangeRoute
+	// maxHops is the TTL: forwarding a packet beyond this many hops is a
+	// routing loop. Topology builders derive it from the network diameter
+	// via SetTTL; the default is generous for hand-wired topologies.
+	maxHops int
+	// ecmpSalt seeds the flow-tuple hash that picks among equal-cost next
+	// hops. Builders derive it per switch from the topology's ECMP seed so
+	// different switches spread the same flow population differently.
+	ecmpSalt uint64
 	// pipe is the forwarding pipeline: the delay is fixed, so in-flight
 	// packets form a FIFO and one standing event serves them all.
 	pipe *sim.DelayLine[switchDelivery]
 	// RxPackets counts packets received for forwarding.
 	RxPackets uint64
+	// DroppedNoRoute counts packets discarded because no route matched the
+	// destination. A misconfigured table degrades to counted drops visible
+	// in traces instead of crashing the sweep process.
+	DroppedNoRoute uint64
+	// LastNoRoute records the most recent no-route drop for diagnostics.
+	// Fields rather than a formatted string: recording must not allocate
+	// on the forwarding hot path.
+	LastNoRoute NoRouteInfo
+}
+
+// NoRouteInfo identifies the packet behind a no-route drop.
+type NoRouteInfo struct {
+	Flow     FlowID
+	Src, Dst NodeID
+}
+
+// rangeRoute forwards destinations in [lo, hi] (inclusive) to one of a set
+// of equal-cost ports.
+type rangeRoute struct {
+	lo, hi NodeID
+	ports  []Handler
 }
 
 // switchDelivery is one packet in the forwarding pipeline with its output
@@ -32,33 +72,119 @@ type switchDelivery struct {
 	p   *Packet
 }
 
-// NewSwitch creates an empty switch.
+// NewSwitch creates an empty switch with the legacy 32-hop TTL.
 func NewSwitch(engine *sim.Engine, name string, pipelineDelay sim.Duration) *Switch {
-	s := &Switch{Name: name, PipelineDelay: pipelineDelay, engine: engine, ports: make(map[NodeID]Handler)}
+	s := &Switch{Name: name, PipelineDelay: pipelineDelay, engine: engine, exact: make(map[NodeID]Handler), maxHops: 32}
 	s.pipe = sim.NewDelayLine(engine, func(d switchDelivery) { d.out.HandlePacket(d.p) })
 	return s
 }
 
-// Connect installs the output port used to reach dst. Typically out is a
-// *Link whose far end is the destination host.
+// Connect installs the exact-match output port used to reach dst. Typically
+// out is a *Link whose far end is the destination host. Exact routes win
+// over any range route.
 func (s *Switch) Connect(dst NodeID, out Handler) {
-	s.ports[dst] = out
+	s.exact[dst] = out
 }
 
-// Port returns the output handler for dst, or nil if none is installed.
-func (s *Switch) Port(dst NodeID) Handler { return s.ports[dst] }
+// ConnectRange installs a route for every destination in [lo, hi]
+// (inclusive). With several ports the route is equal-cost: each flow is
+// pinned to one port by a deterministic hash of (salt, flow, src, dst), so
+// a flow's packets never reorder across paths and the same seed yields the
+// same spreading for any worker count. Narrower ranges win over wider ones;
+// exact routes win over all ranges.
+func (s *Switch) ConnectRange(lo, hi NodeID, ports ...Handler) {
+	if hi < lo {
+		panic(fmt.Sprintf("netsim: switch %q: ConnectRange [%d, %d] is empty", s.Name, lo, hi))
+	}
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("netsim: switch %q: ConnectRange [%d, %d] needs at least one port", s.Name, lo, hi))
+	}
+	s.ranges = append(s.ranges, rangeRoute{lo: lo, hi: hi, ports: ports})
+	sort.SliceStable(s.ranges, func(i, j int) bool {
+		wi := s.ranges[i].hi - s.ranges[i].lo
+		wj := s.ranges[j].hi - s.ranges[j].lo
+		if wi != wj {
+			return wi < wj
+		}
+		return s.ranges[i].lo < s.ranges[j].lo
+	})
+}
 
-// HandlePacket implements Handler by forwarding to the port for p.Dst.
+// SetTTL sets the maximum forwarding hop count. Topology builders call it
+// with the network diameter plus a safety margin so a real forwarding loop
+// is detected within one or two circuits instead of after 32 silent hops.
+func (s *Switch) SetTTL(maxHops int) {
+	if maxHops < 1 {
+		panic(fmt.Sprintf("netsim: switch %q: TTL %d must be at least 1", s.Name, maxHops))
+	}
+	s.maxHops = maxHops
+}
+
+// TTL returns the configured maximum hop count.
+func (s *Switch) TTL() int { return s.maxHops }
+
+// SetECMPSalt sets the per-switch salt mixed into the ECMP flow hash.
+func (s *Switch) SetECMPSalt(salt uint64) { s.ecmpSalt = salt }
+
+// Port returns the exact-match output handler for dst, or nil if none is
+// installed. Range routes are not consulted; use RouteFor for the full
+// forwarding decision.
+func (s *Switch) Port(dst NodeID) Handler { return s.exact[dst] }
+
+// RouteFor returns the output port the switch would forward a packet with
+// the given flow tuple to, or nil if no route matches. It is the pure
+// lookup behind HandlePacket, exposed so topology code can trace the path a
+// flow takes through ECMP fabrics without injecting traffic.
+//
+//greenvet:hotpath
+func (s *Switch) RouteFor(flow FlowID, src, dst NodeID) Handler {
+	if out, ok := s.exact[dst]; ok {
+		return out
+	}
+	for i := range s.ranges {
+		r := &s.ranges[i]
+		if dst < r.lo || dst > r.hi {
+			continue
+		}
+		if len(r.ports) == 1 {
+			return r.ports[0]
+		}
+		return r.ports[ecmpIndex(s.ecmpSalt, flow, src, dst, len(r.ports))]
+	}
+	return nil
+}
+
+// ecmpIndex hashes a flow tuple onto one of n equal-cost ports. The hash
+// chains sim.Mix64 over the salt and tuple fields, so selection depends
+// only on (seed, flow, src, dst): deterministic across runs, Go releases,
+// and worker counts, yet spread evenly because every input bit diffuses
+// through the mixer.
+//
+//greenvet:hotpath
+func ecmpIndex(salt uint64, flow FlowID, src, dst NodeID, n int) int {
+	h := sim.Mix64(salt ^ 0x9E3779B97F4A7C15)
+	h = sim.Mix64(h ^ uint64(flow))
+	h = sim.Mix64(h ^ uint64(src))
+	h = sim.Mix64(h ^ uint64(dst))
+	return int(h % uint64(n))
+}
+
+// HandlePacket implements Handler by forwarding to the route for p.Dst.
+// Packets with no matching route are counted and dropped; packets exceeding
+// the TTL indicate a forwarding loop and panic with full flow context.
 //
 //greenvet:hotpath
 func (s *Switch) HandlePacket(p *Packet) {
-	out, ok := s.ports[p.Dst]
-	if !ok {
-		panic(fmt.Sprintf("netsim: switch %q has no port for node %d", s.Name, p.Dst))
+	out := s.RouteFor(p.Flow, p.Src, p.Dst)
+	if out == nil {
+		s.DroppedNoRoute++
+		s.LastNoRoute = NoRouteInfo{Flow: p.Flow, Src: p.Src, Dst: p.Dst}
+		return
 	}
 	p.hops++
-	if p.hops > 32 {
-		panic("netsim: routing loop detected")
+	if p.hops > s.maxHops {
+		panic(fmt.Sprintf("netsim: routing loop at switch %q: flow=%d src=%d dst=%d seq=%d exceeded TTL %d",
+			s.Name, p.Flow, p.Src, p.Dst, p.Seq, s.maxHops))
 	}
 	s.RxPackets++
 	if s.PipelineDelay > 0 {

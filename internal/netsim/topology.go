@@ -86,6 +86,9 @@ func NewDumbbell(engine *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	recvID := NodeID(cfg.Senders)
 	d.Receiver = NewHost(recvID, "receiver")
 	d.Switch = NewSwitch(engine, "tofino", cfg.SwitchDelay)
+	// Every path crosses the single switch exactly once; TTL 2 (diameter
+	// plus one hop of margin) catches a reflected packet immediately.
+	d.Switch.SetTTL(2)
 
 	// Bottleneck port: switch -> receiver.
 	bq := cfg.BottleneckQueue

@@ -35,15 +35,27 @@ func TestSwitchPipelineDelay(t *testing.T) {
 	}
 }
 
-func TestSwitchUnknownPortPanics(t *testing.T) {
+// TestSwitchUnknownDestinationDropsGracefully is the regression test for the
+// panic-on-unknown-destination bug: a mis-routed packet must degrade to a
+// counted drop visible through the trace counters, not crash the sweep, and
+// later well-routed traffic must be unaffected.
+func TestSwitchUnknownDestinationDropsGracefully(t *testing.T) {
 	e := sim.NewEngine()
 	sw := NewSwitch(e, "sw", 0)
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown destination did not panic")
-		}
-	}()
-	sw.HandlePacket(&Packet{Dst: 9})
+	delivered := 0
+	sw.Connect(1, HandlerFunc(func(p *Packet) { delivered++ }))
+	sw.HandlePacket(&Packet{Flow: 5, Src: 3, Dst: 9, WireSize: 100})
+	sw.HandlePacket(&Packet{Flow: 6, Src: 3, Dst: 1, WireSize: 100})
+	e.Run()
+	if sw.DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1", sw.DroppedNoRoute)
+	}
+	if want := (NoRouteInfo{Flow: 5, Src: 3, Dst: 9}); sw.LastNoRoute != want {
+		t.Fatalf("LastNoRoute = %+v, want %+v", sw.LastNoRoute, want)
+	}
+	if sw.RxPackets != 1 || delivered != 1 {
+		t.Fatalf("RxPackets = %d, delivered = %d; the drop must not disturb routed traffic", sw.RxPackets, delivered)
+	}
 }
 
 func TestHostDemux(t *testing.T) {

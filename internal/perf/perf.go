@@ -220,6 +220,46 @@ func BenchSweepCacheCold(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
+// BenchFatTreeIncast runs a 32-to-1 cubic incast across a k=8 fat-tree —
+// 32 senders spread over distinct edge racks converging on one host through
+// table-routed switches and seeded ECMP — and reports the fabric's forwarding
+// rate in packets/sec (every packet any switch forwarded, data and ACKs).
+// This is the multi-tier counterpart of BenchDumbbellTransfer and the
+// benchmark that would first show a regression in the range-route lookup or
+// ECMP hash on the hot path.
+func BenchFatTreeIncast(b *testing.B) {
+	const (
+		k       = 8
+		senders = 32
+		bytes   = 500_000 // per sender
+	)
+	b.ReportAllocs()
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.NewFatTree(testbed.Options{Seed: 1}, netsim.DefaultFatTree(k))
+		for s := 0; s < senders; s++ {
+			// One sender per edge switch, round-robin, skipping the
+			// receiver's host 0.
+			src := netsim.NodeID(1 + s*(k/2)%(k*k*k/4-1))
+			if _, err := tb.AddFlowBetween(src, 0, iperf.Spec{
+				Bytes:  bytes,
+				CCA:    "cubic",
+				Config: tcp.Config{MTU: 1500},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := tb.Run(10 * sim.Second); err != nil {
+			b.Fatal(err)
+		}
+		for _, sw := range tb.Fat.Switches() {
+			pkts += sw.RxPackets
+		}
+	}
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/run")
+}
+
 // BenchDumbbellTransfer runs a complete 25 MB cubic transfer across the
 // paper's dumbbell testbed — TCP sender and receiver, bonded uplinks,
 // switch, bottleneck queue, energy metering — and reports end-to-end

@@ -25,11 +25,20 @@ func NewRNG(seed uint64) *RNG {
 // the draws seen by others.
 func (r *RNG) Split(id uint64) *RNG {
 	// SplitMix64 over (state ^ id) gives well-distributed child seeds.
-	z := r.state ^ (id+1)*0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return NewRNG(z)
+	return NewRNG(Mix64(r.state ^ (id+1)*0xBF58476D1CE4E5B9))
+}
+
+// Mix64 is the SplitMix64 finalizer: a cheap bijective mixer that spreads
+// any change in the input over all 64 output bits. Seed derivation (Split)
+// and the deterministic ECMP flow hash in internal/netsim are built on it,
+// so hash-dependent results stay byte-identical across Go releases and
+// worker counts.
+//
+//greenvet:hotpath
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -74,12 +74,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Testbed is one assembled experiment environment.
+// Testbed is one assembled experiment environment. It drives either the
+// paper's dumbbell (New) or a k-ary fat-tree fabric (NewFatTree); the
+// measurement loop — meters, RAPL bracketing, throughput monitoring — is
+// shared, and the meter noise-draw order is identical between the two so
+// the dumbbell's golden digests are untouched by the generalization.
 type Testbed struct {
-	Engine   *sim.Engine
-	Net      *netsim.Dumbbell
+	Engine *sim.Engine
+	// Net is the dumbbell topology (nil for fat-tree testbeds).
+	Net *netsim.Dumbbell
+	// Fat is the fat-tree topology (nil for dumbbell testbeds).
+	Fat      *netsim.FatTree
 	Model    energy.Model
-	Meters   []*energy.Meter // index i = sender i; last = receiver
+	Meters   []*energy.Meter // dumbbell: index i = sender i; last = receiver
 	Sensors  []*rapl.Sensor
 	Monitor  *netsim.ThroughputMonitor
 	opts     Options
@@ -88,9 +95,22 @@ type Testbed struct {
 	loads    []*stress.Load
 	measures []*rapl.Measurement
 	ran      bool
+	// senderIdx/recvIdx index Meters by measurement role, in registration
+	// order. Run's collect draws noise for senders first, then receivers —
+	// the dumbbell's historical order, preserved exactly.
+	senderIdx []int
+	recvIdx   []int
+	// meterOf lazily maps fat-tree hosts to their meters.
+	meterOf map[netsim.NodeID]int
+	// watch is the link whose queue stats Run reports as BottleneckStats.
+	watch *netsim.Link
+	// switches are polled for no-route drop counters after the run.
+	switches []*netsim.Switch
+	// drrs are the fair queues notified on flow teardown (DRR.Release).
+	drrs []*netsim.DRR
 }
 
-// New builds a testbed.
+// New builds a dumbbell testbed.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
 	engine := sim.NewEngine()
@@ -109,17 +129,100 @@ func New(opts Options) *Testbed {
 		opts:   opts,
 		rng:    sim.NewRNG(opts.Seed),
 	}
-	for range d.Senders {
+	for i := range d.Senders {
 		m := energy.NewMeter(engine, opts.Model.Curve, opts.Model.Costs)
 		tb.Meters = append(tb.Meters, m)
 		tb.Sensors = append(tb.Sensors, rapl.NewSensor(m))
+		tb.senderIdx = append(tb.senderIdx, i)
 	}
 	recvMeter := energy.NewMeter(engine, opts.Model.Curve, opts.Model.Costs)
 	tb.Meters = append(tb.Meters, recvMeter)
 	tb.Sensors = append(tb.Sensors, rapl.NewSensor(recvMeter))
+	tb.recvIdx = append(tb.recvIdx, len(tb.Meters)-1)
+
+	tb.watch = d.Bottleneck
+	tb.switches = []*netsim.Switch{d.Switch}
+	if q := d.BottleneckDRR(); q != nil {
+		tb.drrs = append(tb.drrs, q)
+	}
 
 	tb.Monitor = netsim.NewThroughputMonitor(engine, 10*sim.Millisecond)
 	return tb
+}
+
+// NewFatTree builds a testbed over a k-ary fat-tree fabric. Topology knobs
+// come from cfg (rates per tier, queue disciplines, ECMP seed); opts
+// contributes the measurement machinery (energy model, seed-driven jitter
+// and noise). Any *netsim.DRR created through cfg.NewQueue is tracked for
+// flow teardown automatically. Flows are added with AddFlowBetween; meters
+// are created lazily, one per participating host, in first-use order.
+func NewFatTree(opts Options, cfg netsim.FatTreeConfig) *Testbed {
+	opts = opts.withDefaults()
+	engine := sim.NewEngine()
+
+	tb := &Testbed{
+		Engine:  engine,
+		Model:   opts.Model,
+		opts:    opts,
+		rng:     sim.NewRNG(opts.Seed),
+		meterOf: make(map[netsim.NodeID]int),
+	}
+	if userQueue := cfg.NewQueue; userQueue != nil {
+		cfg.NewQueue = func(p netsim.FatTreePort) netsim.Queue {
+			q := userQueue(p)
+			if drr, ok := q.(*netsim.DRR); ok {
+				tb.drrs = append(tb.drrs, drr)
+			}
+			return q
+		}
+	}
+	tb.Fat = netsim.NewFatTree(engine, cfg)
+	tb.switches = tb.Fat.Switches()
+	tb.Monitor = netsim.NewThroughputMonitor(engine, 10*sim.Millisecond)
+	return tb
+}
+
+// WatchBottleneck selects the link whose queue statistics Run reports as
+// BottleneckStats (the dumbbell wires its bottleneck automatically).
+func (tb *Testbed) WatchBottleneck(l *netsim.Link) { tb.watch = l }
+
+// meterFor returns (creating on first use) the meter index for a fat-tree
+// host. Hosts enter the sender or receiver measurement group according to
+// their first role; a receiver that later originates a flow is promoted to
+// the sender group, keeping TotalSenderJ the sum the theorems compare.
+func (tb *Testbed) meterFor(host netsim.NodeID, sender bool) int {
+	if i, ok := tb.meterOf[host]; ok {
+		if sender {
+			tb.promoteToSender(i)
+		}
+		return i
+	}
+	m := energy.NewMeter(tb.Engine, tb.Model.Curve, tb.Model.Costs)
+	tb.Meters = append(tb.Meters, m)
+	tb.Sensors = append(tb.Sensors, rapl.NewSensor(m))
+	i := len(tb.Meters) - 1
+	tb.meterOf[host] = i
+	if sender {
+		tb.senderIdx = append(tb.senderIdx, i)
+	} else {
+		tb.recvIdx = append(tb.recvIdx, i)
+	}
+	return i
+}
+
+func (tb *Testbed) promoteToSender(meter int) {
+	for _, s := range tb.senderIdx {
+		if s == meter {
+			return
+		}
+	}
+	for j, r := range tb.recvIdx {
+		if r == meter {
+			tb.recvIdx = append(tb.recvIdx[:j], tb.recvIdx[j+1:]...)
+			break
+		}
+	}
+	tb.senderIdx = append(tb.senderIdx, meter)
 }
 
 // SenderMeter returns the energy meter of sender i.
@@ -133,6 +236,9 @@ func (tb *Testbed) ReceiverMeter() *energy.Meter { return tb.Meters[len(tb.Meter
 // unless the spec overrides it. Start jitter is applied on top of
 // spec.StartAt.
 func (tb *Testbed) AddFlow(sender int, spec iperf.Spec) (*iperf.Client, error) {
+	if tb.Net == nil {
+		return nil, fmt.Errorf("testbed: AddFlow targets the dumbbell; use AddFlowBetween on a fat-tree testbed")
+	}
 	if sender < 0 || sender >= len(tb.Net.Senders) {
 		return nil, fmt.Errorf("testbed: sender %d out of range", sender)
 	}
@@ -154,10 +260,54 @@ func (tb *Testbed) AddFlow(sender int, spec iperf.Spec) (*iperf.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	flow := spec.Flow
-	c.Receiver().OnData = func(n int) { tb.Monitor.Observe(flow, n) }
-	tb.clients = append(tb.clients, c)
+	tb.register(c, spec.Flow)
 	return c, nil
+}
+
+// AddFlowBetween installs an iperf client between two fat-tree hosts. The
+// NIC rate defaults to the topology's host link rate; start jitter is
+// applied on top of spec.StartAt, exactly as on the dumbbell.
+func (tb *Testbed) AddFlowBetween(src, dst netsim.NodeID, spec iperf.Spec) (*iperf.Client, error) {
+	if tb.Fat == nil {
+		return nil, fmt.Errorf("testbed: AddFlowBetween needs a fat-tree testbed; use AddFlow on a dumbbell")
+	}
+	n := netsim.NodeID(tb.Fat.NumHosts())
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		return nil, fmt.Errorf("testbed: flow endpoints %d -> %d invalid for %d hosts", src, dst, n)
+	}
+	if spec.Flow == 0 {
+		spec.Flow = netsim.FlowID(len(tb.clients) + 1)
+	}
+	if spec.Config.TxPathCost == 0 {
+		spec.Config.TxPathCost = tb.Model.Costs.TxPathCost
+	}
+	if spec.Config.NICRateBps == 0 {
+		spec.Config.NICRateBps = tb.Fat.Config.HostBps
+	}
+	spec.StartAt += tb.rng.Jitter(tb.opts.StartJitter)
+
+	srcAcct := energy.NewAccount(tb.Meters[tb.meterFor(src, true)], spec.CCA)
+	dstAcct := energy.NewAccount(tb.Meters[tb.meterFor(dst, false)], spec.CCA)
+	c, err := iperf.NewClient(tb.Engine, spec, tb.Fat.Hosts[src], tb.Fat.Hosts[dst], srcAcct, dstAcct)
+	if err != nil {
+		return nil, err
+	}
+	tb.register(c, spec.Flow)
+	return c, nil
+}
+
+// register wires the bookkeeping shared by both topologies: throughput
+// observation and scheduler-state teardown. The teardown callback is pure
+// synchronous cleanup — it schedules no events and draws no randomness, so
+// it cannot perturb the deterministic event stream.
+func (tb *Testbed) register(c *iperf.Client, flow netsim.FlowID) {
+	c.Receiver().OnData = func(n int) { tb.Monitor.Observe(flow, n) }
+	c.OnDone(func() {
+		for _, q := range tb.drrs {
+			q.Release(flow)
+		}
+	})
+	tb.clients = append(tb.clients, c)
 }
 
 // AddLoad starts stress background load (fraction of all cores) on sender
@@ -171,14 +321,16 @@ func (tb *Testbed) AddLoad(sender int, frac float64) error {
 	return nil
 }
 
-// SetWeight configures the bottleneck DRR weight for a flow; it errors if
-// the testbed was not built with UseDRR.
+// SetWeight configures the DRR weight for a flow on every tracked fair
+// queue: the dumbbell's bottleneck (when built with UseDRR) or the DRR
+// ports a fat-tree config installed. It errors if no DRR is present.
 func (tb *Testbed) SetWeight(flow netsim.FlowID, w float64) error {
-	q := tb.Net.BottleneckDRR()
-	if q == nil {
-		return fmt.Errorf("testbed: bottleneck is not a DRR scheduler")
+	if len(tb.drrs) == 0 {
+		return fmt.Errorf("testbed: no DRR scheduler in this topology")
 	}
-	q.SetWeight(flow, w)
+	for _, q := range tb.drrs {
+		q.SetWeight(flow, w)
+	}
 	return nil
 }
 
@@ -201,8 +353,12 @@ type RunResult struct {
 	// Retransmits sums retransmissions over all flows (Figure 8's
 	// x-axis).
 	Retransmits uint64
-	// BottleneckStats snapshots the shared queue's counters.
+	// BottleneckStats snapshots the watched queue's counters (the
+	// dumbbell bottleneck, or the link set with WatchBottleneck).
 	BottleneckStats netsim.QueueStats
+	// NoRouteDrops sums packets every switch discarded for lack of a
+	// route; non-zero means the topology's tables are misconfigured.
+	NoRouteDrops uint64
 }
 
 // Run starts all flows, samples energy every SyncEvery until every flow
@@ -232,7 +388,6 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 	// as the paper's scripts bracket each iperf3 run.
 	var done sim.Time
 	finished := false
-	nSenders := len(tb.Meters) - 1
 	var senderJ []float64
 	var recvJ float64
 	noise := func() float64 { return 1 + tb.rng.Normal(0, tb.opts.MeasureNoise) }
@@ -240,10 +395,15 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 		finished = true
 		done = tb.Engine.Now()
 		tb.Monitor.Stop()
-		for i := 0; i < nSenders; i++ {
+		// Draw order — senders in registration order, then receivers — is
+		// part of the determinism contract: the dumbbell's golden digests
+		// depend on it.
+		for _, i := range tb.senderIdx {
 			senderJ = append(senderJ, tb.measures[i].EndPackage()*noise())
 		}
-		recvJ = tb.measures[nSenders].EndPackage() * noise()
+		for _, i := range tb.recvIdx {
+			recvJ += tb.measures[i].EndPackage() * noise()
+		}
 	}
 	// Collect at the exact completion instant: the sampler alone would
 	// quantize the measurement window to SyncEvery.
@@ -294,7 +454,12 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 	if s := res.Duration.Seconds(); s > 0 {
 		res.AvgSenderPowerW = res.TotalSenderJ / s
 	}
-	res.BottleneckStats = tb.Net.Bottleneck.Queue().Stats()
+	if tb.watch != nil {
+		res.BottleneckStats = tb.watch.Queue().Stats()
+	}
+	for _, sw := range tb.switches {
+		res.NoRouteDrops += sw.DroppedNoRoute
+	}
 	return res, nil
 }
 

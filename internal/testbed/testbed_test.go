@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"greenenvy/internal/iperf"
+	"greenenvy/internal/netsim"
 	"greenenvy/internal/sim"
 )
 
@@ -291,5 +292,96 @@ func TestThroughputMonitorSeriesPopulated(t *testing.T) {
 	mid := series[len(series)/2]
 	if mid.Bps < 8e9 {
 		t.Fatalf("mid-transfer sample = %.2f Gb/s, want near 10", mid.Bps/1e9)
+	}
+}
+
+func TestFatTreeTestbedEndToEnd(t *testing.T) {
+	// A cross-pod incast on a k=4 tree: 3 senders on distinct racks into
+	// one receiver. Every byte must arrive with no no-route drops, and
+	// sender/receiver energy groups must both be populated.
+	cfg := netsim.DefaultFatTree(4)
+	tb := NewFatTree(Options{Seed: 7}, cfg)
+	for i, src := range []netsim.NodeID{4, 8, 12} {
+		if _, err := tb.AddFlowBetween(src, 0, iperf.Spec{Bytes: gbit, CCA: "cubic", Flow: netsim.FlowID(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.WatchBottleneck(tb.Fat.HostDownlink(0))
+	res, err := tb.Run(30 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		if r.Bytes != gbit {
+			t.Fatalf("flow %d delivered %d of %d bytes", r.Flow, r.Bytes, gbit)
+		}
+	}
+	if res.NoRouteDrops != 0 {
+		t.Fatalf("NoRouteDrops = %d, want 0", res.NoRouteDrops)
+	}
+	if len(res.SenderEnergyJ) != 3 || res.TotalSenderJ <= 0 || res.ReceiverEnergyJ <= 0 {
+		t.Fatalf("energy accounting: senders=%v receiver=%v", res.SenderEnergyJ, res.ReceiverEnergyJ)
+	}
+	// 3 Gbit share one 10 Gb/s downlink: at least ~0.3 s.
+	if res.Duration < 250*sim.Millisecond {
+		t.Fatalf("duration = %v, implausibly fast for a shared 10G downlink", res.Duration)
+	}
+	if res.BottleneckStats.EnqueuedPackets == 0 {
+		t.Fatal("watched bottleneck saw no packets")
+	}
+}
+
+func TestFatTreeTestbedValidation(t *testing.T) {
+	cfg := netsim.DefaultFatTree(4)
+	tb := NewFatTree(Options{Seed: 1}, cfg)
+	if _, err := tb.AddFlow(0, iperf.Spec{Bytes: 1, CCA: "cubic"}); err == nil {
+		t.Fatal("AddFlow on a fat-tree testbed did not error")
+	}
+	if _, err := tb.AddFlowBetween(0, 0, iperf.Spec{Bytes: 1, CCA: "cubic"}); err == nil {
+		t.Fatal("src == dst did not error")
+	}
+	if _, err := tb.AddFlowBetween(0, 99, iperf.Spec{Bytes: 1, CCA: "cubic"}); err == nil {
+		t.Fatal("out-of-range dst did not error")
+	}
+	dumb := New(Options{Seed: 1})
+	if _, err := dumb.AddFlowBetween(0, 1, iperf.Spec{Bytes: 1, CCA: "cubic"}); err == nil {
+		t.Fatal("AddFlowBetween on a dumbbell testbed did not error")
+	}
+}
+
+// TestFatTreeDRRTeardownReclaimsState runs a fair incast with a DRR on the
+// receiver downlink and checks flow completion releases scheduler state —
+// the leak fix observed at the testbed layer.
+func TestFatTreeDRRTeardownReclaimsState(t *testing.T) {
+	cfg := netsim.DefaultFatTree(4)
+	var drr *netsim.DRR
+	cfg.NewQueue = func(p netsim.FatTreePort) netsim.Queue {
+		if p.Tier == netsim.TierHostDown && p.Host == 0 {
+			drr = netsim.NewDRR(cfg.BufferBytes, 0)
+			return drr
+		}
+		return nil
+	}
+	tb := NewFatTree(Options{Seed: 11}, cfg)
+	for i, src := range []netsim.NodeID{4, 8} {
+		c, err := tb.AddFlowBetween(src, 0, iperf.Spec{Bytes: gbit / 4, CCA: "cubic", Flow: netsim.FlowID(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.SetWeight(c.Report().Flow, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drr == nil {
+		t.Fatal("NewQueue hook never installed the DRR")
+	}
+	if _, err := tb.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := drr.FlowTableSize(); n != 0 {
+		t.Fatalf("DRR holds %d flows after all flows completed, want 0", n)
 	}
 }

@@ -9,8 +9,8 @@ import (
 // number order, then the analytic and extension experiments.
 var canonicalOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"theorem", "scheduler", "incast", "samesender", "ablations",
-	"frontier", "production", "workload",
+	"theorem", "scheduler", "incast", "fattree-incast", "crossrack",
+	"samesender", "ablations", "frontier", "production", "workload",
 }
 
 func TestRegistryMetadata(t *testing.T) {
