@@ -68,6 +68,11 @@ var benchmarks = []struct {
 	{"SweepCacheCold", perf.BenchSweepCacheCold},
 	{"DumbbellTransfer", perf.BenchDumbbellTransfer},
 	{"FatTreeIncast", perf.BenchFatTreeIncast},
+	{"ShardedIncastMono", perf.BenchShardedIncastMono},
+	{"ShardedIncastW1", perf.BenchShardedIncastW1},
+	{"ShardedIncastW2", perf.BenchShardedIncastW2},
+	{"ShardedIncastW4", perf.BenchShardedIncastW4},
+	{"ShardedIncastW8", perf.BenchShardedIncastW8},
 }
 
 func main() {

@@ -39,6 +39,14 @@ type Options struct {
 	// NoCache bypasses the persistent cache even when CacheDir is set:
 	// nothing is read from or written to disk, forcing full recomputation.
 	NoCache bool
+	// Shards, when positive, runs each fat-tree repetition on the sharded
+	// conservative-synchronization engine with up to this many workers
+	// (testbed.Options.Shards). Results for a given topology are
+	// byte-identical for every positive value — only wall-clock changes —
+	// but differ from the monolithic (0) schedule, so Shards>0 selects a
+	// separate cache lineage. Dumbbell experiments ignore it. Composes
+	// with Workers: repetitions fan out first, shards within each.
+	Shards int
 	// Verbose, when set, makes runners print progress lines.
 	Verbose bool
 }
@@ -65,7 +73,20 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
+	if o.Shards < 0 {
+		return Options{}, fmt.Errorf("greenenvy: Shards %d negative", o.Shards)
+	}
 	return o, nil
+}
+
+// shardTag collapses Shards to the single bit that affects results: the
+// sharded schedule is byte-identical for every positive worker count, so
+// cache identities record only sharded-vs-monolithic.
+func (o Options) shardTag() int {
+	if o.Shards > 0 {
+		return 1
+	}
+	return 0
 }
 
 // Paper returns the paper's full experiment parameters: 10 repetitions,

@@ -115,7 +115,7 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 		hostBps := netsim.DefaultFatTree(k).HostBps
 
 		run := func(serial bool) (float64, float64, error) {
-			id := fmt.Sprintf("fattree-incast/n=%d/k=%d/ecmp=%d/serial=%t/per=%d", n, k, o.Seed, serial, per)
+			id := fmt.Sprintf("fattree-incast/n=%d/k=%d/ecmp=%d/serial=%t/per=%d/sh=%d", n, k, o.Seed, serial, per, o.shardTag())
 			aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				cfg := netsim.DefaultFatTree(k)
 				cfg.ECMPSeed = o.Seed
@@ -127,7 +127,7 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 						return nil
 					}
 				}
-				tb := testbed.NewFatTree(testbed.Options{Seed: seed}, cfg)
+				tb := testbed.NewFatTree(testbed.Options{Seed: seed, Shards: o.Shards}, cfg)
 				tb.WatchBottleneck(tb.Fat.HostDownlink(recv))
 				var prev *iperf.Client
 				for _, src := range senders {
@@ -145,10 +145,11 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 					}
 				}
 				return tb, nil
-			}, deadlineFor(totalBytes), senderJoules, runSeconds)
+			}, deadlineFor(totalBytes), senderJoules, runSeconds, eventsFired)
 			if err != nil {
 				return 0, 0, err
 			}
+			o.logf("fattree-incast: n=%d serial=%t %.0f events/run", n, serial, aggs[2].Mean)
 			return aggs[0].Mean, aggs[1].Mean, nil
 		}
 		fairJ, fairD, err := run(false)
@@ -334,7 +335,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 
 	deadline := deadlineFor(2 * bytes)
 	for _, f := range fractions {
-		id := fmt.Sprintf("crossrack/k=%d/ecmp=%d/frac=%.2f/bytes=%d", k, o.Seed, f, bytes)
+		id := fmt.Sprintf("crossrack/k=%d/ecmp=%d/frac=%.2f/bytes=%d/sh=%d", k, o.Seed, f, bytes, o.shardTag())
 		aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			cfg := baseCfg
 			if f < 1.0 {
@@ -345,7 +346,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 					return nil
 				}
 			}
-			tb := testbed.NewFatTree(testbed.Options{Seed: seed}, cfg)
+			tb := testbed.NewFatTree(testbed.Options{Seed: seed, Shards: o.Shards}, cfg)
 			c1, err := tb.AddFlowBetween(f1[0], f1[1], iperf.Spec{Bytes: bytes, CCA: "cubic"})
 			if err != nil {
 				return nil, err
@@ -370,7 +371,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 				c2.StartAfter(c1)
 			}
 			return tb, nil
-		}, deadline, senderJoules)
+		}, deadline, senderJoules, eventsFired)
 		if err != nil {
 			return CrossRackResult{}, fmt.Errorf("crossrack fraction %v: %w", f, err)
 		}
@@ -380,7 +381,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 			StdEnergyJ:         aggs[0].Std,
 			AnalyticSavingsPct: analytic[f],
 		})
-		o.logf("crossrack: f=%.2f energy=%.1f±%.1f J", f, aggs[0].Mean, aggs[0].Std)
+		o.logf("crossrack: f=%.2f energy=%.1f±%.1f J (%.0f events/run)", f, aggs[0].Mean, aggs[0].Std, aggs[1].Mean)
 	}
 
 	res.FairEnergyJ = res.Points[0].MeanEnergyJ

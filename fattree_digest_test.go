@@ -63,6 +63,39 @@ func TestFatTreeIncastDigestStableAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFatTreeIncastDigestStableAcrossShards is the sharded engine's
+// determinism proof, one level up from the testbed test: the full incast
+// sweep — every repetition running on partitioned engines under
+// conservative synchronization — must produce byte-identical measurements
+// for every shard-worker count. The partition is fixed by the topology, so
+// only execution interleaving varies with Shards; any divergence means a
+// worker-count-dependent event ordering leaked into results. (Shards=0, the
+// monolithic engine, is a different schedule by design — cross-shard starts
+// pay a relay lookahead — and so is pinned by the Workers digest test
+// above, not compared against here.)
+func TestFatTreeIncastDigestStableAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced-scale fat-tree sweep three times")
+	}
+	digests := map[int]string{}
+	for _, shards := range []int{1, 2, 4} {
+		o := digestOpts()
+		o.Shards = shards
+		res, err := RunFatTreeIncast(o)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		digests[shards] = fatTreeDigest(res)
+	}
+	want := digests[1]
+	for shards, got := range digests {
+		if got != want {
+			t.Fatalf("fat-tree incast digest differs between Shards=1 (%s) and Shards=%d (%s): "+
+				"the same-seed-same-bytes contract is broken", want, shards, got)
+		}
+	}
+}
+
 // TestCrossRackDeterministicCollision pins the ECMP path-discovery step:
 // the colliding flow pair and shared core link are pure functions of the
 // seed, and different seeds exercise different (but always valid) pairs.

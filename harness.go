@@ -30,6 +30,10 @@ func senderJoules(r testbed.RunResult) float64 { return r.TotalSenderJ }
 // runSeconds is the experiment's wall-clock (simulated) duration.
 func runSeconds(r testbed.RunResult) float64 { return r.Duration.Seconds() }
 
+// eventsFired is the discrete-event count of the run, aggregated across
+// every partition engine on the sharded path (never just shard 0's).
+func eventsFired(r testbed.RunResult) float64 { return float64(r.EventsFired) }
+
 // firstSenderWatts is host 0's average power over the run.
 func firstSenderWatts(r testbed.RunResult) float64 {
 	return r.SenderEnergyJ[0] / r.Duration.Seconds()

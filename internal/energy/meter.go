@@ -69,17 +69,28 @@ func (m *Meter) AddWork(coreSeconds float64) {
 // phase boundary.
 //
 //greenvet:hotpath
-func (m *Meter) Sync() {
-	now := m.engine.Now()
-	dt := now - m.last
+func (m *Meter) Sync() { m.SyncAt(m.engine.Now()) }
+
+// SyncAt integrates energy up to the explicit instant t instead of the
+// engine clock. The sharded testbed needs it: partition engines stop at
+// different local times once their flows finish, but the final measurement
+// must integrate every meter to the same global completion instant. t
+// before the last sync point panics — that would erase energy.
+//
+//greenvet:hotpath
+func (m *Meter) SyncAt(t sim.Time) {
+	dt := t - m.last
 	if dt <= 0 {
+		if dt < 0 {
+			panic("energy: SyncAt before an earlier sync point")
+		}
 		return
 	}
 	seconds := dt.Seconds()
 	net := m.workSec / (seconds * float64(m.Costs.Cores))
 	m.joules += m.Curve.PowerLoaded(m.baseUtil, net) * seconds
 	m.workSec = 0
-	m.last = now
+	m.last = t
 }
 
 // Joules returns total energy consumed up to the last Sync.

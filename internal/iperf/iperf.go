@@ -78,8 +78,12 @@ type Client struct {
 	lastBytes    uint64
 	lastRetrans  uint64
 	done         bool
-	after        *Client
-	onDone       []func()
+	// split marks a sender and receiver living on different partition
+	// engines: the client then never reads receiver state during the run.
+	split      bool
+	after      *Client
+	startRelay func(fire func())
+	onDone     []func()
 	// OnComplete fires when the transfer finishes.
 	OnComplete func(Report)
 }
@@ -88,6 +92,21 @@ type Client struct {
 // may be nil. The client does not start until Start (or StartAt elapses
 // after StartAll).
 func NewClient(engine *sim.Engine, spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dstAccount *energy.Account) (*Client, error) {
+	return NewClientOn(engine, engine, spec, srcHost, dstHost, srcAccount, dstAccount)
+}
+
+// NewClientOn wires a client whose sender and receiver may live on
+// different partition engines (the sharded fat-tree with src and dst hosts
+// in different shards). The sender and its timers run on srcEngine, the
+// receiver and its delayed-ACK machinery on dstEngine; they communicate
+// only through packets, which the topology carries across the partition
+// boundary. When the engines differ, per-interval statistics are disabled
+// (they would read the remote receiver's counters mid-run, which the
+// sharded engine's synchronization does not license) and Report.Bytes is
+// derived from the spec on completion — TCP delivers the transfer in order
+// and completes on the final ACK, so the two are equal by construction.
+// With srcEngine == dstEngine this is exactly NewClient.
+func NewClientOn(srcEngine, dstEngine *sim.Engine, spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dstAccount *energy.Account) (*Client, error) {
 	cfg := fillConfig(spec.Config)
 	cc, err := cca.New(spec.CCA)
 	if err != nil {
@@ -104,9 +123,9 @@ func NewClient(engine *sim.Engine, spec Spec, srcHost, dstHost *netsim.Host, src
 	}
 	spec.Config = cfg
 
-	c := &Client{spec: spec, engine: engine}
-	c.receiver = tcp.NewReceiver(engine, dstHost, spec.Flow, srcHost.ID, cfg, cc.ECNCapable(), dstAccount)
-	c.sender = tcp.NewSender(engine, srcHost, spec.Flow, dstHost.ID, spec.Bytes, cc, cfg, srcAccount)
+	c := &Client{spec: spec, engine: srcEngine, split: srcEngine != dstEngine}
+	c.receiver = tcp.NewReceiver(dstEngine, dstHost, spec.Flow, srcHost.ID, cfg, cc.ECNCapable(), dstAccount)
+	c.sender = tcp.NewSender(srcEngine, srcHost, spec.Flow, dstHost.ID, spec.Bytes, cc, cfg, srcAccount)
 	c.sender.OnComplete = c.finish
 	return c, nil
 }
@@ -149,6 +168,18 @@ func fillConfig(cfg tcp.Config) tcp.Config {
 // schedule. It must be called before Start.
 func (c *Client) StartAfter(prev *Client) { c.after = prev }
 
+// ChainedAfter returns the client this one was chained behind with
+// StartAfter, or nil.
+func (c *Client) ChainedAfter() *Client { return c.after }
+
+// SetStartRelay routes the chained-start signal through relay instead of
+// scheduling directly on this client's engine. The sharded testbed uses it
+// when a StartAfter predecessor completes on another partition: relay
+// carries fire across the boundary (paying the partition's lookahead
+// latency) and invokes it on this client's shard. Must be set before
+// Start.
+func (c *Client) SetStartRelay(relay func(fire func())) { c.startRelay = relay }
+
 // OnDone registers a callback invoked when the transfer completes, in
 // addition to (and after) OnComplete. Multiple callbacks run in
 // registration order.
@@ -158,8 +189,13 @@ func (c *Client) OnDone(f func()) { c.onDone = append(c.onDone, f) }
 // chained with StartAfter — at StartAt after its predecessor completes.
 func (c *Client) Start() {
 	if c.after != nil {
+		relay := c.startRelay
 		c.after.onDone = append(c.after.onDone, func() {
-			c.engine.After(c.spec.StartAt, c.startNow)
+			if relay != nil {
+				relay(func() { c.engine.After(c.spec.StartAt, c.startNow) })
+			} else {
+				c.engine.After(c.spec.StartAt, c.startNow)
+			}
 		})
 		return
 	}
@@ -168,6 +204,11 @@ func (c *Client) Start() {
 
 func (c *Client) startNow() {
 	c.sender.Start()
+	if c.split {
+		// Interval stats sample the receiver; with the receiver on another
+		// shard the summary report is the only statistic kept.
+		return
+	}
 	c.intervalOpen = IntervalStat{Start: c.engine.Now()}
 	c.engine.After(c.spec.Interval, c.tick)
 }
@@ -197,7 +238,9 @@ func (c *Client) closeInterval() {
 }
 
 func (c *Client) finish() {
-	c.closeInterval()
+	if !c.split {
+		c.closeInterval()
+	}
 	c.done = true
 	if c.OnComplete != nil {
 		c.OnComplete(c.Report())
@@ -210,6 +253,11 @@ func (c *Client) finish() {
 // Done reports whether the transfer completed.
 func (c *Client) Done() bool { return c.done }
 
+// TransferBytes returns the configured transfer size. The sharded
+// testbed's per-shard samplers compare it against the local receiver's
+// in-order count to detect completion without touching remote state.
+func (c *Client) TransferBytes() uint64 { return c.spec.Bytes }
+
 // Sender exposes the underlying TCP sender.
 func (c *Client) Sender() *tcp.Sender { return c.sender }
 
@@ -219,11 +267,19 @@ func (c *Client) Receiver() *tcp.Receiver { return c.receiver }
 // Report builds the summary (valid any time; final once Done).
 func (c *Client) Report() Report {
 	s := c.sender
+	bytes := uint64(0)
+	if !c.split {
+		bytes = c.receiver.TotalReceived
+	} else if s.Done() {
+		// The remote receiver's counter can only be read after the run
+		// quiesces; on completion the in-order transfer equals the spec.
+		bytes = c.spec.Bytes
+	}
 	r := Report{
 		Flow:        c.spec.Flow,
 		CCA:         c.spec.CCA,
 		MTU:         c.spec.Config.MTU,
-		Bytes:       c.receiver.TotalReceived,
+		Bytes:       bytes,
 		Start:       s.StartedAt,
 		End:         s.CompletedAt,
 		Retransmits: s.Retransmits,

@@ -119,8 +119,15 @@ func DefaultFatTree(k int) FatTreeConfig {
 // in pod-major order: host h lives in pod h/(k²/4), on edge switch
 // (h mod k²/4)/(k/2).
 type FatTree struct {
+	// Engine is the single engine driving the whole fabric, or partition
+	// 0's engine when the tree was built sharded (see Group).
 	Engine *sim.Engine
 	Config FatTreeConfig
+
+	// Group is non-nil when the tree was built by NewFatTreeSharded: pods
+	// and cores are spread over its partition engines per the
+	// FatTreePartition scheme, with boundary links riding conduits.
+	Group *sim.ShardGroup
 
 	// Hosts, indexed by NodeID.
 	Hosts []*Host
@@ -133,10 +140,21 @@ type FatTree struct {
 
 	// hostDown[h] is the edge→host link delivering to host h.
 	hostDown []*Link
+	part     FatTreePartition
 }
 
-// NewFatTree wires up the topology described by cfg.
+// NewFatTree wires up the topology described by cfg on a single engine.
 func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
+	return buildFatTree(cfg, fatTreeLayout{engine: engine})
+}
+
+// buildFatTree is the shared builder behind NewFatTree and
+// NewFatTreeSharded. The two layouts must create switches and links in
+// exactly the same order: ECMP salts are keyed by creation ordinal, so a
+// divergence would silently re-route flows between the monolithic and
+// sharded builds (and conduit ordinals, part of the sharded determinism
+// contract, are fixed by the same order).
+func buildFatTree(cfg FatTreeConfig, lay fatTreeLayout) *FatTree {
 	if cfg.K < 2 || cfg.K%2 != 0 {
 		panic(fmt.Sprintf("netsim: fat-tree arity k=%d must be even and >= 2", cfg.K))
 	}
@@ -153,13 +171,15 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 	numHosts := k * hostsPerPod
 
 	ft := &FatTree{
-		Engine:   engine,
+		Engine:   lay.pod(0),
 		Config:   cfg,
+		Group:    lay.group,
 		Hosts:    make([]*Host, numHosts),
 		Edges:    make([]*Switch, k*half),
 		Aggs:     make([]*Switch, k*half),
 		Cores:    make([]*Switch, half*half),
 		hostDown: make([]*Link, numHosts),
+		part:     lay.part,
 	}
 
 	queueFor := func(port FatTreePort) Queue {
@@ -185,8 +205,8 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 	// The longest path crosses edge, agg, core, agg, edge: 5 switch hops.
 	// One hop of margin turns a wiring mistake into a prompt diagnostic.
 	const ttl = 6
-	newSwitch := func(name string) *Switch {
-		s := NewSwitch(engine, name, cfg.SwitchDelay)
+	newSwitch := func(eng *sim.Engine, name string) *Switch {
+		s := NewSwitch(eng, name, cfg.SwitchDelay)
 		s.SetTTL(ttl)
 		s.SetECMPSalt(salt())
 		return s
@@ -194,27 +214,28 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 
 	for p := 0; p < k; p++ {
 		for i := 0; i < half; i++ {
-			ft.Edges[p*half+i] = newSwitch(fmt.Sprintf("edge-p%d-e%d", p, i))
-			ft.Aggs[p*half+i] = newSwitch(fmt.Sprintf("agg-p%d-a%d", p, i))
+			ft.Edges[p*half+i] = newSwitch(lay.pod(p), fmt.Sprintf("edge-p%d-e%d", p, i))
+			ft.Aggs[p*half+i] = newSwitch(lay.pod(p), fmt.Sprintf("agg-p%d-a%d", p, i))
 		}
 	}
 	for c := range ft.Cores {
-		ft.Cores[c] = newSwitch(fmt.Sprintf("core-%d", c))
+		ft.Cores[c] = newSwitch(lay.core(c), fmt.Sprintf("core-%d", c))
 	}
 
-	// Hosts and the host↔edge tier.
+	// Hosts and the host↔edge tier (always pod-internal).
 	for h := 0; h < numHosts; h++ {
 		p := h / hostsPerPod
 		e := (h % hostsPerPod) / half
+		eng := lay.pod(p)
 		edge := ft.Edges[p*half+e]
 		host := NewHost(NodeID(h), fmt.Sprintf("h%d", h))
 		ft.Hosts[h] = host
 
 		up := FatTreePort{Tier: TierHostUp, Pod: p, Switch: e, Host: NodeID(h), Port: h % half}
-		host.SetEgress(NewLink(engine, fmt.Sprintf("h%d-up", h), cfg.HostBps, cfg.LinkDelay, queueFor(up), edge))
+		host.SetEgress(NewLink(eng, fmt.Sprintf("h%d-up", h), cfg.HostBps, cfg.LinkDelay, queueFor(up), edge))
 
 		down := FatTreePort{Tier: TierHostDown, Pod: p, Switch: e, Host: NodeID(h), Port: h % half}
-		l := NewLink(engine, fmt.Sprintf("%s->h%d", edge.Name, h), cfg.HostBps, cfg.LinkDelay, queueFor(down), host)
+		l := NewLink(eng, fmt.Sprintf("%s->h%d", edge.Name, h), cfg.HostBps, cfg.LinkDelay, queueFor(down), host)
 		ft.hostDown[h] = l
 		edge.Connect(NodeID(h), l)
 	}
@@ -228,7 +249,7 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 			ups := make([]Handler, half)
 			for a := 0; a < half; a++ {
 				port := FatTreePort{Tier: TierEdgeUp, Pod: p, Switch: e, Host: -1, Port: a}
-				ups[a] = NewLink(engine, fmt.Sprintf("%s->%s", edge.Name, ft.Aggs[p*half+a].Name),
+				ups[a] = NewLink(lay.pod(p), fmt.Sprintf("%s->%s", edge.Name, ft.Aggs[p*half+a].Name),
 					cfg.EdgeAggBps, cfg.LinkDelay, queueFor(port), ft.Aggs[p*half+a])
 			}
 			edge.ConnectRange(0, NodeID(numHosts-1), ups...)
@@ -243,16 +264,19 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 			for e := 0; e < half; e++ {
 				lo := NodeID(p*hostsPerPod + e*half)
 				port := FatTreePort{Tier: TierAggDown, Pod: p, Switch: a, Host: -1, Port: e}
-				down := NewLink(engine, fmt.Sprintf("%s->%s", agg.Name, ft.Edges[p*half+e].Name),
+				down := NewLink(lay.pod(p), fmt.Sprintf("%s->%s", agg.Name, ft.Edges[p*half+e].Name),
 					cfg.EdgeAggBps, cfg.LinkDelay, queueFor(port), ft.Edges[p*half+e])
 				agg.ConnectRange(lo, lo+NodeID(half-1), down)
 			}
 			ups := make([]Handler, half)
 			for j := 0; j < half; j++ {
-				core := ft.Cores[a*half+j]
+				c := a*half + j
+				core := ft.Cores[c]
 				port := FatTreePort{Tier: TierAggUp, Pod: p, Switch: a, Host: -1, Port: j}
-				ups[j] = NewLink(engine, fmt.Sprintf("%s->%s", agg.Name, core.Name),
+				up := NewLink(lay.pod(p), fmt.Sprintf("%s->%s", agg.Name, core.Name),
 					cfg.AggCoreBps, cfg.LinkDelay, queueFor(port), core)
+				lay.bindPodToCore(up, p, c, core)
+				ups[j] = up
 			}
 			agg.ConnectRange(0, NodeID(numHosts-1), ups...)
 		}
@@ -265,8 +289,9 @@ func NewFatTree(engine *sim.Engine, cfg FatTreeConfig) *FatTree {
 		for p := 0; p < k; p++ {
 			agg := ft.Aggs[p*half+a]
 			port := FatTreePort{Tier: TierCoreDown, Pod: p, Switch: c, Host: -1, Port: p}
-			down := NewLink(engine, fmt.Sprintf("%s->%s", core.Name, agg.Name),
+			down := NewLink(lay.core(c), fmt.Sprintf("%s->%s", core.Name, agg.Name),
 				cfg.AggCoreBps, cfg.LinkDelay, queueFor(port), agg)
+			lay.bindCoreToPod(down, c, p, agg)
 			core.ConnectRange(NodeID(p*hostsPerPod), NodeID((p+1)*hostsPerPod-1), down)
 		}
 	}

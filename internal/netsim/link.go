@@ -32,6 +32,11 @@ type Link struct {
 	// deliveries are FIFO and one standing event plus a ring of in-flight
 	// packets replaces a heap event and closure per packet.
 	wire *sim.DelayLine[*Packet]
+	// remote, when set, replaces wire: the far end lives on another
+	// partition's engine and the propagation delay is spent crossing the
+	// conduit (it doubles as the partition's lookahead guarantee). The
+	// packet is handed off wholly; this side never touches it again.
+	remote *sim.Conduit[*Packet]
 
 	// TxPackets and TxBytes count packets/bytes that completed
 	// serialization onto the wire.
@@ -55,6 +60,11 @@ func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration,
 	l.wire = sim.NewDelayLine(engine, dst.HandlePacket)
 	return l
 }
+
+// SetRemote diverts the link's propagation stage through an inter-shard
+// conduit: packets finish serializing here, then arrive at the far
+// partition Delay later. Must be set before traffic flows.
+func (l *Link) SetRemote(c *sim.Conduit[*Packet]) { l.remote = c }
 
 // Queue exposes the link's queue discipline (for weight configuration and
 // stats inspection).
@@ -113,7 +123,11 @@ func (l *Link) onTxDone() {
 			RateBps:    l.RateBps,
 		})
 	}
-	l.wire.Schedule(p, l.engine.Now()+l.Delay)
+	if l.remote != nil {
+		l.remote.Send(l.engine.Now()+l.Delay, p)
+	} else {
+		l.wire.Schedule(p, l.engine.Now()+l.Delay)
+	}
 	l.transmitNext()
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"greenenvy/internal/energy"
+	"greenenvy/internal/sim"
 )
 
 // DefaultEnergyUnitJoules is 2^-16 J ≈ 15.3 µJ, the default RAPL energy
@@ -76,6 +77,18 @@ func (s *Sensor) EnergyUnitJoules() float64 { return s.unit }
 // counters are always current.
 func (s *Sensor) ReadCounter(d Domain) uint32 {
 	s.meter.Sync()
+	return s.counter(d)
+}
+
+// ReadCounterAt is ReadCounter with the meter integrated to the explicit
+// instant t rather than its engine clock — the sharded testbed's way of
+// reading every partition's counters at one common completion time.
+func (s *Sensor) ReadCounterAt(d Domain, t sim.Time) uint32 {
+	s.meter.SyncAt(t)
+	return s.counter(d)
+}
+
+func (s *Sensor) counter(d Domain) uint32 {
 	j := s.meter.Joules()
 	switch d {
 	case PP0:
@@ -129,4 +142,10 @@ func (m *Measurement) End() map[Domain]float64 {
 // EndPackage is a convenience for the common single-domain measurement.
 func (m *Measurement) EndPackage() float64 {
 	return m.End()[Package]
+}
+
+// EndPackageAt ends the package-domain measurement at the explicit instant
+// t (see Sensor.ReadCounterAt).
+func (m *Measurement) EndPackageAt(t sim.Time) float64 {
+	return m.sensor.CounterDelta(m.before[Package], m.sensor.ReadCounterAt(Package, t))
 }

@@ -42,6 +42,7 @@ func NewDelayLine[T any](e *Engine, fn func(T)) *DelayLine[T] {
 	d := &DelayLine[T]{eng: e, deliver: fn}
 	d.ev.eng = e
 	d.ev.idx = -1
+	d.ev.band = bandLocal
 	d.ev.pinned = true
 	d.ev.fn = d.fire
 	return d

@@ -64,12 +64,26 @@ type Event struct {
 	eng *Engine
 	// idx is the position in the engine's heap array, -1 when not queued.
 	idx int32
+	// band is the ordering tier among same-time events: bandPortal events
+	// (cross-shard conduit arrivals) fire before bandLocal ones, giving the
+	// sharded engine a fixed, worker-count-independent tie-break between a
+	// shard's own events and handoffs from its peers. Within a band, seq
+	// orders as before.
+	band uint8
 	// dead marks a lazily-cancelled event awaiting collection.
 	dead bool
 	// pinned events are owned by a Timer or DelayLine and are never
 	// returned to the engine's free list.
 	pinned bool
 }
+
+// Event ordering bands. Portal events carry sequence numbers from their
+// conduit's own deterministic counter, not the engine's, so the two spaces
+// must never be compared — the band keeps them apart.
+const (
+	bandPortal uint8 = iota
+	bandLocal
+)
 
 // Time returns the simulated time at which the event fires (or was to fire).
 func (e *Event) Time() Time { return e.at }
@@ -163,6 +177,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.nextSeq()
+	ev.band = bandLocal
 	ev.fn = fn
 	e.push(ev)
 	return ev
@@ -245,12 +260,64 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // RunFor executes events for d nanoseconds of simulated time from now.
 func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + d) }
 
+// peekLive discards dead events at the heap root and returns the earliest
+// live event without executing it, or nil when the queue is empty.
+func (e *Engine) peekLive() *Event {
+	for len(e.events) > 0 {
+		root := e.events[0]
+		if !root.dead {
+			return root
+		}
+		e.popMin()
+		e.dead--
+		if root.pinned {
+			root.dead = false
+		} else {
+			e.release(root)
+		}
+	}
+	return nil
+}
+
+// RunBelow executes events with firing time strictly below limit and
+// returns the firing time of the earliest remaining live event (MaxTime
+// when the queue is empty). Unlike RunUntil it neither advances the clock
+// to the limit nor executes an event at it: the sharded scheduler calls it
+// repeatedly as the shard's lower-bound timestamp grows, and the clock must
+// never pass a point that a cross-shard arrival could still precede. The
+// returned time is exact (dead events are collected, not reported), so the
+// caller can publish it as a bound to downstream shards.
+//
+//greenvet:hotpath
+func (e *Engine) RunBelow(limit Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		root := e.peekLive()
+		if root == nil {
+			return MaxTime
+		}
+		if root.at >= limit {
+			return root.at
+		}
+		e.step()
+	}
+	if root := e.peekLive(); root != nil {
+		return root.at
+	}
+	return MaxTime
+}
+
 // --- 4-ary heap over (at, seq) ---
 
-// before reports whether a fires strictly before b.
+// before reports whether a fires strictly before b: by time, then band
+// (portal arrivals ahead of local events), then sequence number within the
+// band.
 func before(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.band != b.band {
+		return a.band < b.band
 	}
 	return a.seq < b.seq
 }

@@ -26,6 +26,7 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 	t := &Timer{eng: e}
 	t.ev.eng = e
 	t.ev.idx = -1
+	t.ev.band = bandLocal
 	t.ev.pinned = true
 	t.ev.fn = fn
 	return t

@@ -50,6 +50,13 @@ type Options struct {
 	MeasureNoise float64
 	// SyncEvery is the energy integration granularity (default 1 ms).
 	SyncEvery sim.Duration
+	// Shards, when positive, runs fat-tree testbeds on the sharded
+	// conservative-synchronization engine with up to this many workers
+	// (clamped to the partition count, one shard per pod). Results are
+	// byte-identical for every positive value; 0 keeps the monolithic
+	// engine. Dumbbell testbeds ignore it — a two-host topology degenerates
+	// to a single shard, so the monolithic path IS its sharded execution.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +115,21 @@ type Testbed struct {
 	switches []*netsim.Switch
 	// drrs are the fair queues notified on flow teardown (DRR.Release).
 	drrs []*netsim.DRR
+
+	// Sharded-run state (nil/empty on the monolithic path).
+	//
+	// group is the conservative-synchronization scheduler when
+	// Options.Shards > 0 on a fat-tree; Engine then aliases shard 0.
+	group *sim.ShardGroup
+	// ctrl[i][j] carries control closures (chained-start signals) from
+	// shard i to shard j with the link delay as lookahead.
+	ctrl [][]*sim.Conduit[func()]
+	// clientSrcShard/clientDstShard parallel clients; meterShard parallels
+	// Meters; drrShard parallels drrs. Each records the owning shard.
+	clientSrcShard []int
+	clientDstShard []int
+	meterShard     []int
+	drrShard       []int
 }
 
 // New builds a dumbbell testbed.
@@ -158,27 +180,57 @@ func New(opts Options) *Testbed {
 // are created lazily, one per participating host, in first-use order.
 func NewFatTree(opts Options, cfg netsim.FatTreeConfig) *Testbed {
 	opts = opts.withDefaults()
-	engine := sim.NewEngine()
 
 	tb := &Testbed{
-		Engine:  engine,
 		Model:   opts.Model,
 		opts:    opts,
 		rng:     sim.NewRNG(opts.Seed),
 		meterOf: make(map[netsim.NodeID]int),
 	}
+	part := netsim.FatTreePartition{K: cfg.K}
 	if userQueue := cfg.NewQueue; userQueue != nil {
 		cfg.NewQueue = func(p netsim.FatTreePort) netsim.Queue {
 			q := userQueue(p)
 			if drr, ok := q.(*netsim.DRR); ok {
 				tb.drrs = append(tb.drrs, drr)
+				// Record the owning shard so flow teardown can stay
+				// shard-local on the sharded path. Core downlinks belong to
+				// the core's shard; every other port to its pod's.
+				shard := p.Pod
+				if p.Tier == netsim.TierCoreDown {
+					shard = part.CoreShard(p.Switch)
+				}
+				tb.drrShard = append(tb.drrShard, shard)
 			}
 			return q
 		}
 	}
-	tb.Fat = netsim.NewFatTree(engine, cfg)
+	if opts.Shards > 0 {
+		tb.group = sim.NewShardGroup(part.Shards())
+		tb.Fat = netsim.NewFatTreeSharded(tb.group, cfg)
+		tb.Engine = tb.Fat.Engine // shard 0, for API compatibility
+		// Control conduits for cross-shard chained starts, created in a
+		// fixed order after the topology's packet conduits.
+		P := tb.group.Shards()
+		tb.ctrl = make([][]*sim.Conduit[func()], P)
+		for i := 0; i < P; i++ {
+			tb.ctrl[i] = make([]*sim.Conduit[func()], P)
+			for j := 0; j < P; j++ {
+				if i == j {
+					continue
+				}
+				tb.ctrl[i][j] = sim.NewConduit(tb.group, i, j, cfg.LinkDelay, func(fire func()) { fire() })
+			}
+		}
+	} else {
+		tb.Engine = sim.NewEngine()
+		tb.Fat = netsim.NewFatTree(tb.Engine, cfg)
+	}
 	tb.switches = tb.Fat.Switches()
-	tb.Monitor = netsim.NewThroughputMonitor(engine, 10*sim.Millisecond)
+	// The throughput monitor samples flows fabric-wide, which the sharded
+	// run cannot license mid-run; it stays idle there (runSharded never
+	// starts it, and register skips its observation hook).
+	tb.Monitor = netsim.NewThroughputMonitor(tb.Engine, 10*sim.Millisecond)
 	return tb
 }
 
@@ -197,9 +249,12 @@ func (tb *Testbed) meterFor(host netsim.NodeID, sender bool) int {
 		}
 		return i
 	}
-	m := energy.NewMeter(tb.Engine, tb.Model.Curve, tb.Model.Costs)
+	// The meter integrates on the engine that drives its host — the host's
+	// shard when sharded, tb.Engine otherwise.
+	m := energy.NewMeter(tb.Fat.EngineOf(host), tb.Model.Curve, tb.Model.Costs)
 	tb.Meters = append(tb.Meters, m)
 	tb.Sensors = append(tb.Sensors, rapl.NewSensor(m))
+	tb.meterShard = append(tb.meterShard, tb.Fat.ShardOfHost(host))
 	i := len(tb.Meters) - 1
 	tb.meterOf[host] = i
 	if sender {
@@ -288,10 +343,13 @@ func (tb *Testbed) AddFlowBetween(src, dst netsim.NodeID, spec iperf.Spec) (*ipe
 
 	srcAcct := energy.NewAccount(tb.Meters[tb.meterFor(src, true)], spec.CCA)
 	dstAcct := energy.NewAccount(tb.Meters[tb.meterFor(dst, false)], spec.CCA)
-	c, err := iperf.NewClient(tb.Engine, spec, tb.Fat.Hosts[src], tb.Fat.Hosts[dst], srcAcct, dstAcct)
+	c, err := iperf.NewClientOn(tb.Fat.EngineOf(src), tb.Fat.EngineOf(dst), spec,
+		tb.Fat.Hosts[src], tb.Fat.Hosts[dst], srcAcct, dstAcct)
 	if err != nil {
 		return nil, err
 	}
+	tb.clientSrcShard = append(tb.clientSrcShard, tb.Fat.ShardOfHost(src))
+	tb.clientDstShard = append(tb.clientDstShard, tb.Fat.ShardOfHost(dst))
 	tb.register(c, spec.Flow)
 	return c, nil
 }
@@ -300,13 +358,33 @@ func (tb *Testbed) AddFlowBetween(src, dst netsim.NodeID, spec iperf.Spec) (*ipe
 // observation and scheduler-state teardown. The teardown callback is pure
 // synchronous cleanup — it schedules no events and draws no randomness, so
 // it cannot perturb the deterministic event stream.
+//
+// On the sharded path the throughput monitor stays unwired (a fabric-wide
+// observer has no licensed view of remote shards mid-run) and flow teardown
+// releases only the DRR queues living on the flow's sender shard: the
+// OnDone callback executes there, and DRR release order on any other shard
+// would depend on when that shard observed the completion — a worker-count
+// dependence the determinism contract forbids. Sender-shard queues are the
+// only ones a finished flow still holds deficit state on that could affect
+// scheduling before the run drains.
 func (tb *Testbed) register(c *iperf.Client, flow netsim.FlowID) {
-	c.Receiver().OnData = func(n int) { tb.Monitor.Observe(flow, n) }
-	c.OnDone(func() {
-		for _, q := range tb.drrs {
-			q.Release(flow)
-		}
-	})
+	if tb.group == nil {
+		c.Receiver().OnData = func(n int) { tb.Monitor.Observe(flow, n) }
+		c.OnDone(func() {
+			for _, q := range tb.drrs {
+				q.Release(flow)
+			}
+		})
+	} else {
+		srcShard := tb.clientSrcShard[len(tb.clients)]
+		c.OnDone(func() {
+			for qi, q := range tb.drrs {
+				if tb.drrShard[qi] == srcShard {
+					q.Release(flow)
+				}
+			}
+		})
+	}
 	tb.clients = append(tb.clients, c)
 }
 
@@ -359,6 +437,11 @@ type RunResult struct {
 	// NoRouteDrops sums packets every switch discarded for lack of a
 	// route; non-zero means the topology's tables are misconfigured.
 	NoRouteDrops uint64
+	// EventsFired counts discrete events executed over the run, summed
+	// across partition engines on the sharded path. A capacity metric, not
+	// part of the determinism contract (though in practice it is identical
+	// across worker counts).
+	EventsFired uint64
 }
 
 // Run starts all flows, samples energy every SyncEvery until every flow
@@ -372,6 +455,9 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 	tb.ran = true
 	if len(tb.clients) == 0 {
 		return RunResult{}, fmt.Errorf("testbed: no flows added")
+	}
+	if tb.group != nil {
+		return tb.runSharded(deadline)
 	}
 
 	// Bracket the measurement exactly as the paper does: read every
@@ -460,6 +546,7 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 	for _, sw := range tb.switches {
 		res.NoRouteDrops += sw.DroppedNoRoute
 	}
+	res.EventsFired = tb.Engine.Fired()
 	return res, nil
 }
 

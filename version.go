@@ -26,7 +26,7 @@ const fig5GoldenDigest = "4d48a93ef9514caf8c8444854133d31f2d7ab1cb1038230be0dcb2
 // cacheSchema versions the persistent cache's key derivation and the gob
 // shapes of the cached result structs. Bump it when either changes form
 // without a simulator-behaviour change (which fig5GoldenDigest covers).
-const cacheSchema = "greenenvy-cache-2"
+const cacheSchema = "greenenvy-cache-3"
 
 // cacheVersionStamp is the version identity mixed into every persistent
 // cache key: entries are only ever returned to a binary whose simulator
