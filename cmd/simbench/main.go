@@ -67,6 +67,8 @@ var benchmarks = []struct {
 	{"SweepCacheWarm", perf.BenchSweepCacheWarm},
 	{"SweepCacheCold", perf.BenchSweepCacheCold},
 	{"DumbbellTransfer", perf.BenchDumbbellTransfer},
+	{"WorkloadChurn", perf.BenchWorkloadChurn},
+	{"WorkloadScaleStreaming", perf.BenchWorkloadScaleStreaming},
 	{"FatTreeIncast", perf.BenchFatTreeIncast},
 	{"ShardedIncastMono", perf.BenchShardedIncastMono},
 	{"ShardedIncastW1", perf.BenchShardedIncastW1},

@@ -137,3 +137,34 @@ func repeatRuns(o Options, id string, build func(seed uint64) (*testbed.Testbed,
 		return r, err
 	})
 }
+
+// repeatStreamRuns is repeatRuns for the streaming churn path: the same
+// derived-seed repetition fan-out and per-repetition persistent caching,
+// but each repetition produces an O(1)-size testbed.StreamResult instead
+// of retained per-flow reports. Stream runs cache under the "stream" key
+// kind so their gob shape evolves independently of RunResult's.
+func repeatStreamRuns(o Options, id string, run func(seed uint64) (testbed.StreamResult, error)) ([]testbed.StreamResult, error) {
+	store := o.cacheStore()
+	root := sim.NewRNG(o.Seed)
+	out := make([]testbed.StreamResult, o.Reps)
+	err := testbed.ForEach(o.Reps, o.Workers, func(rep int) error {
+		seed := root.Split(uint64(rep)).Uint64()
+		key := cache.NewKey("stream", id, seed)
+		var cached testbed.StreamResult
+		if store.Get(key, &cached) {
+			out[rep] = cached
+			return nil
+		}
+		r, err := run(seed)
+		if err != nil {
+			return fmt.Errorf("repetition %d: %w", rep, err)
+		}
+		_ = store.Put(key, r)
+		out[rep] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -38,4 +38,5 @@ var ExperimentCacheIDs = map[string]string{
 	"samesender":     "samesender/",
 	"production":     "production/",
 	"workload":       "workload/",
+	"workload-scale": "workload-scale/",
 }

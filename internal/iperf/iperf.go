@@ -6,6 +6,7 @@
 package iperf
 
 import (
+	"errors"
 	"fmt"
 
 	"greenenvy/internal/cca"
@@ -33,6 +34,11 @@ type Spec struct {
 	StartAt sim.Time
 	// Interval is the reporting granularity (default 100 ms).
 	Interval sim.Duration
+	// NoIntervals disables per-interval statistics entirely (no periodic
+	// tick events, Report.Intervals empty). The streaming churn driver
+	// sets it: at 10^5–10^6 flows per run the per-flow interval timers and
+	// retained IntervalStats would dominate the event count and memory.
+	NoIntervals bool
 }
 
 // IntervalStat is one reporting interval, like an iperf3 "[ ID] interval"
@@ -130,6 +136,66 @@ func NewClientOn(srcEngine, dstEngine *sim.Engine, spec Spec, srcHost, dstHost *
 	return c, nil
 }
 
+// Pooled-reset sentinel errors (package-level so the hot-path Reset does
+// not format error strings per flow).
+var (
+	errResetSplit    = errors.New("iperf: cannot reset a split-engine client")
+	errResetZeroByte = errors.New("iperf: zero-byte transfer")
+)
+
+// Reset rebinds a completed (or never-started) client to a new transfer,
+// reusing its TCP sender and receiver — their timers, handlers, and
+// scoreboard backing arrays — and, when the algorithm name is unchanged,
+// restarting the congestion controller in place instead of constructing a
+// fresh one. This is the pooled flow lifecycle's setup path: after pool
+// warm-up it performs no allocations. Split-engine clients (sharded runs)
+// cannot be pooled. OnComplete survives the reset; OnDone callbacks and
+// interval statistics are cleared.
+//
+//greenvet:hotpath
+func (c *Client) Reset(spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dstAccount *energy.Account) error {
+	if c.split {
+		return errResetSplit
+	}
+	if spec.Bytes == 0 {
+		return errResetZeroByte
+	}
+	cfg := fillConfig(spec.Config)
+	if spec.TargetBps > 0 {
+		cfg.RateLimitBps = spec.TargetBps
+	}
+	if spec.Interval == 0 {
+		spec.Interval = 100 * sim.Millisecond
+	}
+	spec.Config = cfg
+
+	cc := c.sender.CC()
+	if cc.Name() != spec.CCA || !cca.Restart(cc) {
+		fresh, err := cca.New(spec.CCA) //greenvet:allow hotpathalloc fresh controller only when the pooled flow changes algorithm; same-CCA churn restarts in place
+		if err != nil {
+			return err
+		}
+		cc = fresh
+	}
+
+	c.spec = spec
+	c.receiver.Reset(dstHost, spec.Flow, srcHost.ID, cfg, cc.ECNCapable(), dstAccount)
+	c.sender.Reset(srcHost, spec.Flow, dstHost.ID, spec.Bytes, cc, cfg, srcAccount)
+	c.intervals = c.intervals[:0]
+	c.intervalOpen = IntervalStat{}
+	c.lastBytes = 0
+	c.lastRetrans = 0
+	c.done = false
+	c.after = nil
+	c.startRelay = nil
+	c.onDone = c.onDone[:0]
+	return nil
+}
+
+// Quiescent reports whether the client's receiver has drained its
+// serialized receive path; only quiescent clients may be pooled.
+func (c *Client) Quiescent() bool { return c.receiver.Quiescent() }
+
 func fillConfig(cfg tcp.Config) tcp.Config {
 	def := tcp.DefaultConfig()
 	if cfg.MTU == 0 {
@@ -204,9 +270,10 @@ func (c *Client) Start() {
 
 func (c *Client) startNow() {
 	c.sender.Start()
-	if c.split {
+	if c.split || c.spec.NoIntervals {
 		// Interval stats sample the receiver; with the receiver on another
-		// shard the summary report is the only statistic kept.
+		// shard (or with NoIntervals churn flows) the summary report is
+		// the only statistic kept.
 		return
 	}
 	c.intervalOpen = IntervalStat{Start: c.engine.Now()}
@@ -238,7 +305,7 @@ func (c *Client) closeInterval() {
 }
 
 func (c *Client) finish() {
-	if !c.split {
+	if !c.split && !c.spec.NoIntervals {
 		c.closeInterval()
 	}
 	c.done = true

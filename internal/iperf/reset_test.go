@@ -1,0 +1,96 @@
+package iperf
+
+import (
+	"testing"
+
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/sim"
+)
+
+func newResetFixture(t *testing.T) (*Client, *netsim.Dumbbell) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := netsim.NewDumbbell(eng, netsim.DefaultDumbbell(1))
+	c, err := NewClient(eng, Spec{Flow: 1, Bytes: 10_000, CCA: "cubic", NoIntervals: true},
+		d.Senders[0], d.Receiver, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+// TestClientResetNoAllocs pins the pooled flow-setup path: once a client
+// exists, rebinding it to a new transfer — fresh flow ID, restarted
+// congestion controller, re-attached host handlers, recycled scoreboard
+// arrays — must not allocate. This is the churn driver's per-flow cost.
+func TestClientResetNoAllocs(t *testing.T) {
+	c, d := newResetFixture(t)
+	flow := netsim.FlowID(2)
+	reset := func() {
+		if err := c.Reset(Spec{Flow: flow, Bytes: 10_000, CCA: "cubic", NoIntervals: true},
+			d.Senders[0], d.Receiver, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		flow++
+	}
+	reset() // warm: first reset may grow the host demux map
+	if n := testing.AllocsPerRun(200, reset); n != 0 {
+		t.Fatalf("Client.Reset allocates %.1f times per flow; pooled setup must be allocation-free", n)
+	}
+}
+
+// TestClientResetRejections covers the pooled-reset refusal cases.
+func TestClientResetRejections(t *testing.T) {
+	c, d := newResetFixture(t)
+	if err := c.Reset(Spec{Flow: 2, Bytes: 0, CCA: "cubic"}, d.Senders[0], d.Receiver, nil, nil); err == nil {
+		t.Fatal("zero-byte reset succeeded")
+	}
+	if err := c.Reset(Spec{Flow: 2, Bytes: 1000, CCA: "no-such-cca"}, d.Senders[0], d.Receiver, nil, nil); err == nil {
+		t.Fatal("unknown-CCA reset succeeded")
+	}
+	// A CCA change on reset builds a fresh controller and still works.
+	if err := c.Reset(Spec{Flow: 2, Bytes: 1000, CCA: "reno"}, d.Senders[0], d.Receiver, nil, nil); err != nil {
+		t.Fatalf("cross-CCA reset: %v", err)
+	}
+	if got := c.Sender().CC().Name(); got != "reno" {
+		t.Fatalf("controller after cross-CCA reset: %q", got)
+	}
+}
+
+// TestClientResetRunsFreshTransfer recycles one client through several
+// complete transfers and checks each behaves like a fresh client: full
+// bytes delivered, reports independent, completion callbacks rebound.
+func TestClientResetRunsFreshTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	d := netsim.NewDumbbell(eng, netsim.DefaultDumbbell(1))
+	c, err := NewClient(eng, Spec{Flow: 1, Bytes: 50_000, CCA: "cubic", NoIntervals: true},
+		d.Senders[0], d.Receiver, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 5; rep++ {
+		if rep > 0 {
+			if !c.Quiescent() {
+				t.Fatalf("rep %d: receiver not quiescent after completion", rep)
+			}
+			if err := c.Reset(Spec{Flow: netsim.FlowID(rep + 1), Bytes: 50_000, CCA: "cubic", NoIntervals: true},
+				d.Senders[0], d.Receiver, nil, nil); err != nil {
+				t.Fatalf("rep %d: %v", rep, err)
+			}
+		}
+		done := false
+		c.OnDone(func() { done = true })
+		c.Start()
+		eng.RunUntil(eng.Now() + 5*sim.Second)
+		if !done || !c.Done() {
+			t.Fatalf("rep %d: transfer did not complete", rep)
+		}
+		r := c.Report()
+		if r.Bytes != 50_000 {
+			t.Fatalf("rep %d: delivered %d bytes", rep, r.Bytes)
+		}
+		if r.Flow != netsim.FlowID(rep+1) {
+			t.Fatalf("rep %d: report for flow %d", rep, r.Flow)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"greenenvy/internal/sim"
 	"greenenvy/internal/tcp"
 	"greenenvy/internal/testbed"
+	"greenenvy/internal/workload"
 )
 
 // BenchEngineEventLoop measures raw event throughput: a self-rescheduling
@@ -326,6 +327,84 @@ func BenchShardedIncastW4(b *testing.B) { benchShardedIncast(b, 4) }
 // BenchShardedIncastW8 is the partitioned engine with eight workers — one
 // per pod, the partition's natural maximum.
 func BenchShardedIncastW8(b *testing.B) { benchShardedIncast(b, 8) }
+
+// BenchWorkloadChurn measures the pooled flow-churn path: 2000 short cubic
+// flows arriving back to back on the dumbbell testbed, recycled through the
+// client free-list with streaming aggregation (no per-flow Reports). The
+// reported allocated bytes/op are the whole-run footprint — the number that
+// must stay flat as the flow count grows — and flows/s is the churn rate.
+func BenchWorkloadChurn(b *testing.B) {
+	const (
+		flows   = 2000
+		payload = 20_000
+		gap     = 400 * sim.Microsecond
+		senders = 4
+	)
+	b.ReportAllocs()
+	var done uint64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Options{Seed: 1, Senders: senders, StreamStats: true})
+		n := 0
+		stream := testbed.FlowStreamFunc(func() (testbed.FlowArrival, bool) {
+			if n >= flows {
+				return testbed.FlowArrival{}, false
+			}
+			a := testbed.FlowArrival{At: sim.Time(n) * sim.Time(gap), Bytes: payload, Src: n % senders}
+			n++
+			return a, true
+		})
+		res, err := tb.RunStream(stream, "cubic", nil, 30*sim.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += res.Flows
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "flows/s")
+	b.ReportMetric(float64(done)/float64(b.N), "flows/run")
+}
+
+// BenchWorkloadScaleStreaming is a reduced cell of the workload-scale
+// experiment: Poisson arrivals of scaled web-search flows converging on one
+// host of a k=4 fat-tree through the streaming churn driver. End-to-end cost
+// per replayed flow — generation, admission, pooled launch, P² aggregation —
+// at production arrival statistics.
+func BenchWorkloadScaleStreaming(b *testing.B) {
+	const flows = 1000
+	cfg := netsim.DefaultFatTree(4)
+	hostBps := float64(cfg.HostBps)
+	dist := workload.Scaled{Dist: workload.WebSearch(), Factor: 0.01}
+	b.ReportAllocs()
+	var done uint64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.NewFatTree(testbed.Options{Seed: 1, StreamStats: true}, cfg)
+		hosts := tb.Fat.NumHosts()
+		tb.TouchHost(0, false)
+		for h := 1; h < hosts; h++ {
+			tb.TouchHost(netsim.NodeID(h), true)
+		}
+		ws, err := workload.NewStreamN(sim.NewRNG(1), dist, 0.5, hostBps, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		stream := testbed.FlowStreamFunc(func() (testbed.FlowArrival, bool) {
+			f, ok := ws.Next()
+			if !ok {
+				return testbed.FlowArrival{}, false
+			}
+			a := testbed.FlowArrival{At: f.Start, Bytes: f.Bytes, Src: 1 + n%(hosts-1), Dst: 0}
+			n++
+			return a, true
+		})
+		res, err := tb.RunStream(stream, "cubic", nil, 60*sim.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += res.Flows
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "flows/s")
+	b.ReportMetric(float64(done)/float64(b.N), "flows/run")
+}
 
 // BenchDumbbellTransfer runs a complete 25 MB cubic transfer across the
 // paper's dumbbell testbed — TCP sender and receiver, bonded uplinks,

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var a Accumulator
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*100 - 50
+		a.Add(x)
+		xs = append(xs, x)
+	}
+	if a.N != 1000 {
+		t.Fatalf("N = %d, want 1000", a.N)
+	}
+	if got, want := a.Mean(), Mean(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := a.Min(), Min(xs); got != want {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+	if got, want := a.Max(), Max(xs); got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Errorf("empty accumulator should report NaN, got mean=%v min=%v max=%v",
+			a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestQuantileSketchSmallSampleExact(t *testing.T) {
+	// Below five observations the sketch must agree exactly with
+	// Percentile's interpolation over the same data.
+	data := []float64{9, 1, 5, 3}
+	for n := 1; n <= len(data); n++ {
+		s := NewQuantileSketch(0.5)
+		for _, x := range data[:n] {
+			s.Add(x)
+		}
+		want := Percentile(data[:n], 50)
+		if got := s.Value(); got != want {
+			t.Errorf("n=%d: Value = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	// P² is approximate, but on smooth unimodal data it should land close
+	// to the exact empirical quantile. Use a deterministic RNG stream.
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		rng := sim.NewRNG(42)
+		s := NewQuantileSketch(p)
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			// Exponential-ish heavy tail via inverse transform.
+			x := -math.Log(1 - rng.Float64())
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		exact := Percentile(xs, p*100)
+		got := s.Value()
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 0.05 {
+			t.Errorf("p=%v: sketch %v vs exact %v (rel err %.3f)", p, got, exact, relErr)
+		}
+		if s.Count() != 20000 {
+			t.Errorf("Count = %d, want 20000", s.Count())
+		}
+		if s.P() != p {
+			t.Errorf("P = %v, want %v", s.P(), p)
+		}
+	}
+}
+
+func TestQuantileSketchDeterministic(t *testing.T) {
+	// Same insertion sequence, bit-identical estimate: the sketch must be a
+	// pure function of its inputs with no internal randomness.
+	run := func() float64 {
+		rng := sim.NewRNG(9)
+		s := NewQuantileSketch(0.99)
+		for i := 0; i < 5000; i++ {
+			s.Add(rng.Float64())
+		}
+		return s.Value()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("sketch not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestQuantileSketchEmptyAndPanics(t *testing.T) {
+	s := NewQuantileSketch(0.99)
+	if !math.IsNaN(s.Value()) {
+		t.Errorf("empty sketch Value = %v, want NaN", s.Value())
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantileSketch(%v) did not panic", bad)
+				}
+			}()
+			NewQuantileSketch(bad)
+		}()
+	}
+}
+
+func TestQuantileSketchConstantStream(t *testing.T) {
+	s := NewQuantileSketch(0.9)
+	for i := 0; i < 100; i++ {
+		s.Add(3.25)
+	}
+	if got := s.Value(); got != 3.25 {
+		t.Errorf("constant stream Value = %v, want 3.25", got)
+	}
+}
+
+func TestQuantileSketchAddNoAllocs(t *testing.T) {
+	// The sketch sits on the per-flow completion path of the streaming
+	// testbed driver; folding in an observation must not allocate.
+	s := NewQuantileSketch(0.99)
+	rng := sim.NewRNG(3)
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	var a Accumulator
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(xs[i%len(xs)])
+		a.Add(xs[i%len(xs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Add allocates %v per op, want 0", allocs)
+	}
+}

@@ -130,14 +130,9 @@ func OLS(xs, ys []float64) (a, b float64) {
 	return a, b
 }
 
-// Percentile returns the p-th percentile (0..100) by linear interpolation
-// over a copy of the data. NaN for empty input or p outside [0,100].
-func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 || p < 0 || p > 100 {
-		return math.NaN()
-	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
+// sortedQuantile interpolates the p-th percentile (0..100) over data that
+// is already sorted ascending. Callers guarantee len(cp) > 0 and p in range.
+func sortedQuantile(cp []float64, p float64) float64 {
 	if len(cp) == 1 {
 		return cp[0]
 	}
@@ -148,6 +143,42 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation
+// over a copy of the data. NaN for empty input or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return sortedQuantile(cp, p)
+}
+
+// Percentiles returns several percentiles of the same data with one copy
+// and one sort, interpolating each requested rank over the shared sorted
+// slice — use it wherever multiple quantiles of one series are read
+// together instead of calling Percentile per rank. Out-of-range ranks map
+// to NaN; empty input yields all NaNs.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sortedQuantile(cp, p)
+	}
+	return out
 }
 
 // Summary is a formatted mean ± std pair.

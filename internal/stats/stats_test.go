@@ -140,6 +140,34 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3, 9, 7}
+	ps := []float64{0, 25, 50, 90, 99, 100}
+	got := Percentiles(xs, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("len = %d, want %d", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Errorf("p%g = %v, want %v", p, got[i], want)
+		}
+	}
+	// The shared sort must not reorder the caller's slice.
+	if xs[0] != 5 || xs[len(xs)-1] != 7 {
+		t.Errorf("input mutated: %v", xs)
+	}
+	// Out-of-range ranks map to NaN without disturbing the others.
+	mixed := Percentiles(xs, 50, -1, 101)
+	if mixed[0] != Percentile(xs, 50) || !math.IsNaN(mixed[1]) || !math.IsNaN(mixed[2]) {
+		t.Errorf("mixed ranks = %v", mixed)
+	}
+	for _, v := range Percentiles(nil, 50, 99) {
+		if !math.IsNaN(v) {
+			t.Errorf("empty input should be NaN, got %v", v)
+		}
+	}
+}
+
 func TestSummaryFormat(t *testing.T) {
 	s := Summary([]float64{1, 1, 1})
 	if s != "1.000 ± 0.000" {

@@ -86,6 +86,11 @@ func (s *rangeSet) blocks(max int) []byteRange {
 	return s.ranges[:max]
 }
 
+// reset empties the set, keeping the backing array for reuse. (popBelow
+// slides the slice forward, so a reused set may carry a reduced-capacity
+// tail for a while; the next growth append re-anchors a fresh array.)
+func (s *rangeSet) reset() { s.ranges = s.ranges[:0] }
+
 // len reports the number of disjoint ranges.
 func (s *rangeSet) len() int { return len(s.ranges) }
 

@@ -55,6 +55,10 @@ type Receiver struct {
 	lastINT []netsim.INTHop
 	rxBytes uint64
 
+	// dataHandler is the host-attachment handler, bound once at
+	// construction so pooled reuse does not re-create the method value.
+	dataHandler netsim.Handler
+
 	// Counters.
 	TotalReceived  uint64 // in-order bytes delivered
 	SegmentsRecvd  uint64
@@ -69,19 +73,71 @@ type Receiver struct {
 // sender node src. preciseCE selects DCTCP-style ECN feedback; the energy
 // account may be nil.
 func NewReceiver(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, src netsim.NodeID, cfg Config, preciseCE bool, account *energy.Account) *Receiver {
-	r := &Receiver{
-		engine:    engine,
-		host:      host,
-		flow:      flow,
-		src:       src,
-		cfg:       cfg,
-		account:   account,
-		preciseCE: preciseCE,
-	}
+	r := &Receiver{engine: engine}
 	r.delack = engine.NewTimer(r.onDelAck)
 	r.rxq = sim.NewDelayLine(engine, r.process)
-	host.Attach(flow, netsim.HandlerFunc(r.handleData))
+	r.dataHandler = netsim.HandlerFunc(r.handleData)
+	r.Reset(host, flow, src, cfg, preciseCE, account)
 	return r
+}
+
+// Quiescent reports whether the receiver's serialized receive path has
+// drained: no deferred packets remain in its ring. A pool must only
+// recycle quiescent receivers — a pending rxq delivery would otherwise
+// fire into the next flow's state. (The process-side flow guard drops any
+// straggler that arrives at the host after rebinding.)
+func (r *Receiver) Quiescent() bool { return r.rxq.Len() == 0 }
+
+// Detach unbinds the receiver from its host's flow demux. Unpooled runs
+// historically left receivers attached forever; the pooled churn path
+// detaches so host flow tables stay bounded by the live-flow count.
+func (r *Receiver) Detach() {
+	if r.host != nil {
+		r.host.Detach(r.flow)
+	}
+}
+
+// Reset rebinds a receiver to a new flow, reusing its timers, its delay
+// line, and the out-of-order/SACK bookkeeping backing arrays — the pooled
+// churn path's allocation-free flow setup. The receiver must be Quiescent;
+// any prior host binding is detached first. OnData is left untouched.
+//
+//greenvet:hotpath
+func (r *Receiver) Reset(host *netsim.Host, flow netsim.FlowID, src netsim.NodeID, cfg Config, preciseCE bool, account *energy.Account) {
+	if r.rxq.Len() != 0 {
+		panic("tcp: resetting a receiver with deferred packets")
+	}
+	r.Detach()
+	r.delack.Stop()
+
+	r.host = host
+	r.flow = flow
+	r.src = src
+	r.cfg = cfg
+	r.account = account
+	r.preciseCE = preciseCE
+
+	r.rcvNxt = 0
+	r.ooo.reset()
+	r.unacked = 0
+	r.delackEcho = 0
+	r.ceState = false
+	r.ecePend = false
+	r.eceLatch = false
+	r.recent = r.recent[:0]
+	r.rxFreeAt = 0
+	r.lastINT = nil
+	r.rxBytes = 0
+
+	r.TotalReceived = 0
+	r.SegmentsRecvd = 0
+	r.DupSegments = 0
+	r.AcksSent = 0
+	r.CEMarksSeen = 0
+	r.RxDropped = 0
+	r.OutOfOrderHigh = 0
+
+	host.Attach(flow, r.dataHandler)
 }
 
 // RcvNxt returns the next expected sequence number (in-order bytes
@@ -119,6 +175,14 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 
 //greenvet:hotpath
 func (r *Receiver) process(p *netsim.Packet) {
+	if p.Flow != r.flow {
+		// A straggler from a flow this pooled receiver previously served
+		// (e.g. a spurious retransmission still in the fabric when the
+		// receiver was rebound). The original flow already completed —
+		// completion is cumulative-ACK driven — so dropping it matches
+		// what a detached, unpooled receiver would have done.
+		return
+	}
 	r.SegmentsRecvd++
 	if p.Flags.Has(netsim.FlagINT) {
 		// The receiving NIC is itself an INT hop (as in the HPCC paper,

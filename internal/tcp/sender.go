@@ -55,9 +55,15 @@ type Sender struct {
 
 	// Window segments between sndUna and sndNxt. segs[0] starts at
 	// segBase; all segments are mss bytes except possibly the last.
-	segs    []segment
-	segBase uint64
-	pipe    int
+	// segs is always a sub-slice of segStore's allocation: popping the
+	// front advances it, an emptied window rewinds it to segStore[:0], and
+	// sendOne compacts live segments back to the front before an append
+	// would otherwise reallocate — so one backing array serves the whole
+	// transfer, and pooled reuse (Reset) carries it to the next flow.
+	segs     []segment
+	segStore []segment
+	segBase  uint64
+	pipe     int
 
 	// retxQueue holds sequence numbers of lost segments to retransmit,
 	// in order.
@@ -93,6 +99,10 @@ type Sender struct {
 	sendTimer  *sim.Timer
 	nextSendAt sim.Time
 
+	// ackHandler is the host-attachment handler, bound once at
+	// construction so pooled reuse does not re-create the method value.
+	ackHandler netsim.Handler
+
 	started bool
 	done    bool
 
@@ -112,31 +122,78 @@ type Sender struct {
 // receiver node dst over the given flow ID. The congestion controller is
 // owned by the sender; the energy account may be nil.
 func NewSender(engine *sim.Engine, host *netsim.Host, flow netsim.FlowID, dst netsim.NodeID, totalBytes uint64, cc cca.CongestionControl, cfg Config, account *energy.Account) *Sender {
+	s := &Sender{engine: engine}
+	s.rtoTimer = engine.NewTimer(s.onRTO)
+	s.tlpTimer = engine.NewTimer(s.onTLP)
+	s.sendTimer = engine.NewTimer(s.trySend)
+	s.ackHandler = netsim.HandlerFunc(s.handleAck)
+	s.Reset(host, flow, dst, totalBytes, cc, cfg, account)
+	return s
+}
+
+// Reset rebinds a sender to a new transfer, reusing its timers, its ACK
+// handler, and the segment/retransmission backing arrays of previous
+// flows — the pooled-churn path's allocation-free flow setup. The previous
+// transfer must have completed (or never started); OnComplete is left
+// untouched so a pooled client keeps its one bound callback.
+//
+//greenvet:hotpath
+func (s *Sender) Reset(host *netsim.Host, flow netsim.FlowID, dst netsim.NodeID, totalBytes uint64, cc cca.CongestionControl, cfg Config, account *energy.Account) {
 	if cfg.MTU <= HeaderBytes {
 		panic(fmt.Sprintf("tcp: MTU %d leaves no room for payload", cfg.MTU))
 	}
 	if totalBytes == 0 {
 		panic("tcp: zero-byte transfer")
 	}
-	s := &Sender{
-		engine:     engine,
-		host:       host,
-		flow:       flow,
-		dst:        dst,
-		cfg:        cfg,
-		cc:         cc,
-		account:    account,
-		mss:        cfg.MSS(),
-		totalBytes: totalBytes,
+	if s.started && !s.done {
+		panic("tcp: resetting an active sender")
 	}
+	s.rtoTimer.Stop()
+	s.tlpTimer.Stop()
+	s.sendTimer.Stop()
+
+	s.host = host
+	s.flow = flow
+	s.dst = dst
+	s.cfg = cfg
+	s.cc = cc
+	s.account = account
+	s.mss = cfg.MSS()
+	s.totalBytes = totalBytes
+	s.wantsINT = false
 	if ic, ok := cc.(cca.INTConsumer); ok && ic.NeedsINT() {
 		s.wantsINT = true
 	}
-	s.rtoTimer = engine.NewTimer(s.onRTO)
-	s.tlpTimer = engine.NewTimer(s.onTLP)
-	s.sendTimer = engine.NewTimer(s.trySend)
-	host.Attach(flow, netsim.HandlerFunc(s.handleAck))
-	return s
+
+	s.sndUna = 0
+	s.sndNxt = 0
+	s.segs = s.segStore[:0]
+	s.segBase = 0
+	s.pipe = 0
+	s.retxQueue = s.retxQueue[:0]
+	s.retxWatch = s.retxWatch[:0]
+	s.lossScan = 0
+	s.highSacked = 0
+	s.rtt = rttEstimator{}
+	s.delivered = 0
+	s.deliveredTime = 0
+	s.recovery = false
+	s.recoveryPoint = 0
+	s.fastRetxPending = false
+	s.rtoBackoff = 0
+	s.tlpArmedAt = 0
+	s.nextSendAt = 0
+	s.started = false
+	s.done = false
+
+	s.Retransmits = 0
+	s.Timeouts = 0
+	s.DataSent = 0
+	s.AcksReceived = 0
+	s.StartedAt = 0
+	s.CompletedAt = 0
+
+	host.Attach(flow, s.ackHandler)
 }
 
 // Start begins the transfer at the current simulated time.
@@ -238,7 +295,9 @@ func (s *Sender) handleAck(p *netsim.Packet) {
 		s.rtoBackoff = 0
 		s.armRTO() // restart on forward progress (RFC 6298)
 		if len(s.segs) == 0 {
-			s.segs = nil
+			// Rewind onto the backing array's start so the next burst (or
+			// the next pooled flow) reuses it instead of reallocating.
+			s.segs = s.segStore[:0]
 		}
 	}
 
@@ -489,7 +548,19 @@ func (s *Sender) sendOne(now sim.Time) bool {
 		s.segBase = s.sndNxt
 		s.lossScan = 0
 	}
-	s.segs = append(s.segs, segment{seq: s.sndNxt, length: length}) //greenvet:allow hotpathalloc segment table growth is amortized by append doubling over the transfer
+	if len(s.segs) == cap(s.segs) && cap(s.segs) < cap(s.segStore) {
+		// The window has slid into the tail of the backing array; compact
+		// the live segments back to its front (copy handles the overlap)
+		// instead of letting append reallocate. Indices (lossScan) and
+		// seq↔index mapping are offset-relative, so they survive the move.
+		n := copy(s.segStore[:cap(s.segStore)], s.segs)
+		s.segs = s.segStore[:n]
+	}
+	s.segs = append(s.segs, segment{seq: s.sndNxt, length: length}) //greenvet:allow hotpathalloc segment table growth is amortized by append doubling over the transfer; steady-state churn reuses segStore
+	if cap(s.segs) > cap(s.segStore) {
+		// append reallocated: adopt the larger array as the new backing.
+		s.segStore = s.segs[:0]
+	}
 	sg := &s.segs[len(s.segs)-1]
 	s.sndNxt += uint64(length)
 	s.transmit(sg, now, false)

@@ -50,6 +50,11 @@ type Options struct {
 	MeasureNoise float64
 	// SyncEvery is the energy integration granularity (default 1 ms).
 	SyncEvery sim.Duration
+	// StreamStats opts into streaming aggregation: per-flow Reports are
+	// not retained (Run leaves RunResult.Reports nil; aggregate fields are
+	// still populated) and RunStream becomes available. The explicit flag
+	// keeps "results got smaller" a caller decision, never a surprise.
+	StreamStats bool
 	// Shards, when positive, runs fat-tree testbeds on the sharded
 	// conservative-synchronization engine with up to this many workers
 	// (clamped to the partition count, one shard per pod). Results are
@@ -115,6 +120,10 @@ type Testbed struct {
 	switches []*netsim.Switch
 	// drrs are the fair queues notified on flow teardown (DRR.Release).
 	drrs []*netsim.DRR
+	// noPool disables client recycling in RunStream (every flow builds a
+	// fresh client). Test-only: the churn equivalence test compares pooled
+	// and unpooled runs byte-for-byte.
+	noPool bool
 
 	// Sharded-run state (nil/empty on the monolithic path).
 	//
@@ -529,7 +538,9 @@ func (tb *Testbed) Run(deadline sim.Duration) (RunResult, error) {
 
 	res := RunResult{Duration: done}
 	for _, c := range tb.clients {
-		res.Reports = append(res.Reports, c.Report())
+		if !tb.opts.StreamStats {
+			res.Reports = append(res.Reports, c.Report())
+		}
 		res.Retransmits += c.Sender().Retransmits
 	}
 	res.SenderEnergyJ = senderJ

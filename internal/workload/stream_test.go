@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+// TestStreamMatchesGenerate is the byte-identity contract of the refactor:
+// a Stream drained from the same RNG state must reproduce Generate's flows
+// exactly — same arrivals, same sizes, same count — because Generate is
+// now defined as that drain and downstream experiments key their caches on
+// the draw order.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, tc := range []struct {
+		dist SizeDist
+		load float64
+	}{
+		{WebSearch(), 0.2},
+		{WebSearch(), 0.8},
+		{DataMining(), 0.5},
+		{Fixed(1e6), 0.3},
+	} {
+		window := sim.FromSeconds(0.5)
+		gen, err := Generate(sim.NewRNG(11), tc.dist, tc.load, 1e9, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStream(sim.NewRNG(11), tc.dist, tc.load, 1e9, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []Flow
+		for {
+			f, ok := s.Next()
+			if !ok {
+				break
+			}
+			streamed = append(streamed, f)
+		}
+		if len(streamed) != len(gen) {
+			t.Fatalf("%s load=%g: stream yielded %d flows, Generate %d",
+				tc.dist.Name(), tc.load, len(streamed), len(gen))
+		}
+		for i := range gen {
+			if streamed[i] != gen[i] {
+				t.Fatalf("%s load=%g flow %d: stream %+v != generate %+v",
+					tc.dist.Name(), tc.load, i, streamed[i], gen[i])
+			}
+		}
+		if s.Produced() != uint64(len(gen)) {
+			t.Errorf("Produced = %d, want %d", s.Produced(), len(gen))
+		}
+		// Exhausted streams stay exhausted.
+		if _, ok := s.Next(); ok {
+			t.Error("Next returned a flow after exhaustion")
+		}
+	}
+}
+
+func TestStreamFallbackFlow(t *testing.T) {
+	// A window too small for any arrival must still yield exactly one flow
+	// at time zero, matching Generate's fallback (and its draw order: the
+	// consumed arrival draw, then a size draw).
+	gen, err := Generate(sim.NewRNG(3), WebSearch(), 0.5, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(sim.NewRNG(3), WebSearch(), 0.5, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := s.Next()
+	if !ok || f.Start != 0 {
+		t.Fatalf("fallback flow = %+v ok=%v, want Start=0 ok=true", f, ok)
+	}
+	if len(gen) != 1 || gen[0] != f {
+		t.Fatalf("fallback mismatch: stream %+v vs generate %v", f, gen)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream yielded a second flow after the fallback")
+	}
+}
+
+func TestStreamNCountBound(t *testing.T) {
+	const n = 10_000
+	s, err := NewStreamN(sim.NewRNG(5), DataMining(), 0.7, 1e9, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	last := sim.Time(0)
+	for {
+		f, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+		if f.Start < last {
+			t.Fatalf("arrivals not nondecreasing at flow %d: %v < %v", count, f.Start, last)
+		}
+		last = f.Start
+		if f.Bytes == 0 {
+			t.Fatalf("flow %d has zero bytes", count)
+		}
+	}
+	if count != n {
+		t.Fatalf("count-bounded stream yielded %d flows, want %d", count, n)
+	}
+	if s.Rate() <= 0 {
+		t.Errorf("Rate = %v, want > 0", s.Rate())
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := NewStream(rng, WebSearch(), 0, 1e9, 1e9); err == nil {
+		t.Error("load=0 accepted")
+	}
+	if _, err := NewStream(rng, WebSearch(), 1, 1e9, 1e9); err == nil {
+		t.Error("load=1 accepted")
+	}
+	if _, err := NewStream(rng, WebSearch(), 0.5, 0, 1e9); err == nil {
+		t.Error("linkBps=0 accepted")
+	}
+	if _, err := NewStream(rng, WebSearch(), 0.5, 1e9, 0); err == nil {
+		t.Error("window=0 accepted")
+	}
+	if _, err := NewStreamN(rng, WebSearch(), 0.5, 1e9, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestStreamNextNoAllocs(t *testing.T) {
+	// The generator feeds the churn driver's arrival timer; pulling the
+	// next flow must not allocate.
+	s, err := NewStreamN(sim.NewRNG(2), WebSearch(), 0.5, 1e9, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Next(); !ok {
+			t.Fatal("stream exhausted mid-bench")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Next allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestOfferedLoadFromMatchesSlice(t *testing.T) {
+	window := sim.FromSeconds(0.5)
+	flows, err := Generate(sim.NewRNG(8), WebSearch(), 0.6, 1e9, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OfferedLoad(flows, 1e9, window)
+
+	s, err := NewStream(sim.NewRNG(8), WebSearch(), 0.6, 1e9, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := OfferedLoadFrom(s.Next, 1e9, window)
+	if got != want {
+		t.Errorf("OfferedLoadFrom = %v, OfferedLoad = %v", got, want)
+	}
+	if want <= 0 {
+		t.Errorf("offered load = %v, want > 0", want)
+	}
+}
+
+func TestScaledDist(t *testing.T) {
+	base := Fixed(1000)
+	s := Scaled{Dist: base, Factor: 0.01}
+	rng := sim.NewRNG(1)
+	if got := s.Sample(rng); got != 10 {
+		t.Errorf("Sample = %d, want 10", got)
+	}
+	if got := s.Mean(); got != 10 {
+		t.Errorf("Mean = %v, want 10", got)
+	}
+	tiny := Scaled{Dist: Fixed(10), Factor: 0.001}
+	if got := tiny.Sample(rng); got != 1 {
+		t.Errorf("scaled size should floor at 1 byte, got %d", got)
+	}
+	if s.Name() == "" || s.Name() == base.Name() {
+		t.Errorf("Name = %q should mark the scaling", s.Name())
+	}
+}

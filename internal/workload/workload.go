@@ -135,38 +135,38 @@ type Flow struct {
 
 // Generate produces flows with Poisson arrivals sized by dist, targeting
 // the given offered load (fraction of linkBps) over the window. At least
-// one flow is always produced.
+// one flow is always produced. It drains a Stream into a slice — callers
+// that can consume flows one at a time should use NewStream directly and
+// skip the materialization.
 func Generate(rng *sim.RNG, dist SizeDist, load float64, linkBps float64, window sim.Duration) ([]Flow, error) {
-	if load <= 0 || load >= 1 {
-		return nil, fmt.Errorf("workload: load %v out of (0,1)", load)
-	}
-	if linkBps <= 0 || window <= 0 {
+	if window <= 0 {
+		// Preserve Generate's historical error wording for this case.
 		return nil, fmt.Errorf("workload: need positive link rate and window")
 	}
-	// λ = load × capacity / mean flow size (flows per second).
-	lambda := load * linkBps / 8 / dist.Mean()
+	s, err := NewStream(rng, dist, load, linkBps, window)
+	if err != nil {
+		return nil, err
+	}
 	var out []Flow
-	t := float64(0)
 	for {
-		// Exponential inter-arrival.
-		t += -math.Log(1-rng.Float64()) / lambda
-		at := sim.FromSeconds(t)
-		if at >= window {
-			break
+		f, ok := s.Next()
+		if !ok {
+			return out, nil
 		}
-		out = append(out, Flow{Start: at, Bytes: dist.Sample(rng)})
+		out = append(out, f)
 	}
-	if len(out) == 0 {
-		out = append(out, Flow{Start: 0, Bytes: dist.Sample(rng)})
-	}
-	return out, nil
 }
 
-// OfferedLoad computes the actual offered load of a generated set.
+// OfferedLoad computes the actual offered load of a generated set. It is
+// the slice form of OfferedLoadFrom.
 func OfferedLoad(flows []Flow, linkBps float64, window sim.Duration) float64 {
-	var bytes float64
-	for _, f := range flows {
-		bytes += float64(f.Bytes)
-	}
-	return bytes * 8 / (linkBps * window.Seconds())
+	i := 0
+	return OfferedLoadFrom(func() (Flow, bool) {
+		if i >= len(flows) {
+			return Flow{}, false
+		}
+		f := flows[i]
+		i++
+		return f, true
+	}, linkBps, window)
 }

@@ -104,7 +104,7 @@ func RunWorkload(o Options) (WorkloadResult, error) {
 				gbs = append(gbs, bytes/1e9)
 				powers = append(powers, r.AvgSenderPowerW)
 				meanFCTs = append(meanFCTs, stats.Mean(fcts))
-				p99FCTs = append(p99FCTs, stats.Percentile(fcts, 99))
+				p99FCTs = append(p99FCTs, stats.Percentiles(fcts, 99)[0])
 			}
 			// One flow per iperf report; the last repetition's count
 			// matches what the serial runner reported.

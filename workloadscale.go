@@ -1,0 +1,221 @@
+package greenenvy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"greenenvy/internal/energy"
+	"greenenvy/internal/netsim"
+	"greenenvy/internal/plot"
+	"greenenvy/internal/sim"
+	"greenenvy/internal/stats"
+	"greenenvy/internal/tcp"
+	"greenenvy/internal/testbed"
+	"greenenvy/internal/workload"
+)
+
+// WorkloadScalePoint is one (distribution, load) cell of the streaming
+// replay: the same open-loop arrival stream run once under fair sharing
+// and once under online envy admission.
+type WorkloadScalePoint struct {
+	Dist  string
+	Load  float64
+	Flows int
+	// AdmissionWidth is the envy policy's concurrency cap, derived from
+	// the power curve (1 on a strictly concave curve — full
+	// serialization).
+	AdmissionWidth int
+	// FairJPerGB and EnvyJPerGB are sender joules per gigabyte moved;
+	// EnergyDeltaPct is (envy−fair)/fair·100, negative when envy saves.
+	FairJPerGB     float64
+	EnvyJPerGB     float64
+	EnergyDeltaPct float64
+	// FairP99ms and EnvyP99ms are P99 flow sojourn times (arrival to
+	// completion, admission queueing included) from the streaming P²
+	// sketch.
+	FairP99ms float64
+	EnvyP99ms float64
+	// Deferred is the mean number of flows per repetition the envy policy
+	// held past their arrival instant.
+	Deferred float64
+	// GBMoved is the mean volume per repetition.
+	GBMoved float64
+}
+
+// WorkloadScaleResult is the §5 scale question answered online: replaying
+// 10^5–10^6 production-distribution flows per repetition through the
+// streaming churn driver (pooled flow state, O(1) aggregates, no per-flow
+// retention) with the envy scheduler deciding start-now-vs-defer at each
+// arrival. The energy and tail-latency deltas against fair sharing show
+// where the paper's serial-schedule savings survive production flow mixes
+// — and where per-flow overhead eats them.
+type WorkloadScaleResult struct {
+	Points []WorkloadScalePoint
+}
+
+func init() {
+	Register(Experiment{
+		Name: "workload-scale", Order: 165, Section: "§5",
+		Description: "streaming replay: online envy admission vs fair sharing at scale",
+		Run:         func(o Options) (Result, error) { return RunWorkloadScale(o) },
+	})
+}
+
+// workloadScaleSizeFactor shrinks the production flow-size distributions
+// for the streaming replay: at 10^5–10^6 flows per repetition the
+// unscaled means (2–6 MB) would put terabytes on the wire. Scaling sizes
+// rather than flow count keeps the churn rate — the thing this experiment
+// stresses — at full strength.
+const workloadScaleSizeFactor = 0.01
+
+// RunWorkloadScale replays open-loop Poisson arrivals of scaled
+// web-search and data-mining flows through a k=4 fat-tree, all flows
+// converging on host 0, under fair admission and under the online envy
+// policy. Flow count is 10^6·Scale per repetition (min 200); the run
+// streams — per-flow state is pooled and only O(1) aggregates are kept,
+// so memory does not grow with Scale. The sharded engine cannot license
+// online flow creation mid-run, so this experiment always uses the
+// monolithic engine and Options.Shards does not affect its results.
+func RunWorkloadScale(o Options) (WorkloadScaleResult, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return WorkloadScaleResult{}, err
+	}
+	flows := int(math.Round(1e6 * o.Scale))
+	if flows < 200 {
+		flows = 200
+	}
+	cfg := netsim.DefaultFatTree(4)
+	hostBps := float64(cfg.HostBps)
+	payload := tcp.DefaultConfig().MTU - tcp.HeaderBytes
+	envy := testbed.NewEnvyAdmission(energy.DefaultModel(), hostBps, payload, "cubic")
+	fair := testbed.FairAdmission{}
+
+	avg := func(rs []testbed.StreamResult, f func(testbed.StreamResult) float64) float64 {
+		xs := make([]float64, len(rs))
+		for i, r := range rs {
+			xs[i] = f(r)
+		}
+		return stats.Mean(xs)
+	}
+
+	var res WorkloadScaleResult
+	for _, base := range []workload.SizeDist{workload.WebSearch(), workload.DataMining()} {
+		dist := workload.Scaled{Dist: base, Factor: workloadScaleSizeFactor}
+		for _, load := range []float64{0.2, 0.5, 0.9} {
+			// Bound the run: the arrival span, plus enough for a fully
+			// serialized drain with per-flow ramp-up slack.
+			meanB := dist.Mean()
+			lambda := load * hostBps / 8 / meanB
+			deadline := sim.Duration((float64(flows)/lambda + float64(flows)*(meanB*8/hostBps+0.002) + 10) * float64(sim.Second))
+
+			byPolicy := map[string][]testbed.StreamResult{}
+			for _, adm := range []testbed.Admission{fair, envy} {
+				adm := adm
+				id := fmt.Sprintf("workload-scale/%s/load=%g/flows=%d/%s", dist.Name(), load, flows, adm.Name())
+				runs, err := repeatStreamRuns(o, id, func(seed uint64) (testbed.StreamResult, error) {
+					tb := testbed.NewFatTree(testbed.Options{Seed: seed, StreamStats: true}, cfg)
+					hosts := tb.Fat.NumHosts()
+					// Pre-touch every host so the energy bracket spans the
+					// whole run for all of them, not from first flow.
+					tb.TouchHost(0, false)
+					for h := 1; h < hosts; h++ {
+						tb.TouchHost(netsim.NodeID(h), true)
+					}
+					ws, err := workload.NewStreamN(sim.NewRNG(seed), dist, load, hostBps, uint64(flows))
+					if err != nil {
+						return testbed.StreamResult{}, err
+					}
+					i := 0
+					stream := testbed.FlowStreamFunc(func() (testbed.FlowArrival, bool) {
+						f, ok := ws.Next()
+						if !ok {
+							return testbed.FlowArrival{}, false
+						}
+						a := testbed.FlowArrival{At: f.Start, Bytes: f.Bytes, Src: 1 + i%(hosts-1), Dst: 0}
+						i++
+						return a, true
+					})
+					return tb.RunStream(stream, "cubic", adm, deadline)
+				})
+				if err != nil {
+					return WorkloadScaleResult{}, fmt.Errorf("%s load %v %s: %w", dist.Name(), load, adm.Name(), err)
+				}
+				byPolicy[adm.Name()] = runs
+			}
+
+			fr, er := byPolicy[fair.Name()], byPolicy[envy.Name()]
+			fairJ := avg(fr, testbed.StreamResult.EnergyPerGB)
+			envyJ := avg(er, testbed.StreamResult.EnergyPerGB)
+			p := WorkloadScalePoint{
+				Dist:           base.Name(),
+				Load:           load,
+				Flows:          flows,
+				AdmissionWidth: envy.MaxActive,
+				FairJPerGB:     fairJ,
+				EnvyJPerGB:     envyJ,
+				EnergyDeltaPct: (envyJ - fairJ) / fairJ * 100,
+				FairP99ms:      avg(fr, func(r testbed.StreamResult) float64 { return r.P99FCT * 1000 }),
+				EnvyP99ms:      avg(er, func(r testbed.StreamResult) float64 { return r.P99FCT * 1000 }),
+				Deferred:       avg(er, func(r testbed.StreamResult) float64 { return float64(r.Deferred) }),
+				GBMoved:        avg(fr, func(r testbed.StreamResult) float64 { return float64(r.Bytes) / 1e9 }),
+			}
+			res.Points = append(res.Points, p)
+			o.logf("workload-scale: %s load %.1f: fair %.1f J/GB, envy %.1f J/GB (%+.1f%%), p99 %.2f -> %.2f ms",
+				base.Name(), load, p.FairJPerGB, p.EnvyJPerGB, p.EnergyDeltaPct, p.FairP99ms, p.EnvyP99ms)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the workload-scale experiment.
+func (r WorkloadScaleResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Streaming workload replay (§5) — online envy admission vs fair sharing (CUBIC, k=4 fat-tree)\n")
+	fmt.Fprintf(&b, "%-12s %5s %8s %6s %10s %10s %9s %12s %12s %10s\n",
+		"workload", "load", "flows", "width", "fair J/GB", "envy J/GB", "Δ energy", "fair p99 ms", "envy p99 ms", "deferred")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %5.1f %8d %6d %10.1f %10.1f %8.1f%% %12.3f %12.3f %10.0f\n",
+			p.Dist, p.Load, p.Flows, p.AdmissionWidth, p.FairJPerGB, p.EnvyJPerGB,
+			p.EnergyDeltaPct, p.FairP99ms, p.EnvyP99ms, p.Deferred)
+	}
+	b.WriteString("(negative Δ means envy saved energy. With mice-dominated production mixes,\n")
+	b.WriteString(" width-1 serialization cannot keep pace with arrivals — slow-start rounds, not\n")
+	b.WriteString(" wire time, bound each flow — so the deferral queue grows and envy pays idle-host\n")
+	b.WriteString(" time and tail FCT: §4's bulk-transfer savings need flows big enough to amortize\n")
+	b.WriteString(" per-flow ramp-up, which these distributions do not provide)\n")
+	return b.String()
+}
+
+// SVG renders energy per gigabyte vs offered load, one series per
+// (distribution, policy).
+func (r WorkloadScaleResult) SVG() (string, error) {
+	bySeries := map[string]*plot.Series{}
+	var order []*plot.Series
+	add := func(name string, x, y float64) {
+		s, ok := bySeries[name]
+		if !ok {
+			s = &plot.Series{Name: name}
+			bySeries[name] = s
+			order = append(order, s)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	for _, p := range r.Points {
+		add(p.Dist+"/fair", p.Load, p.FairJPerGB)
+		add(p.Dist+"/envy", p.Load, p.EnvyJPerGB)
+	}
+	out := make([]plot.Series, len(order))
+	for i, s := range order {
+		out[i] = *s
+	}
+	return plot.Chart{
+		Title:  "Streaming workload replay — energy per byte, fair vs envy admission",
+		XLabel: "offered load (fraction of the shared receiver link)",
+		YLabel: "sender energy (J/GB)",
+		Kind:   "line",
+		Series: out,
+	}.SVG()
+}
