@@ -35,7 +35,7 @@ type TheoremResult struct {
 
 // RunTheorem checks the theorem's hypothesis and a spread of allocations.
 func RunTheorem(o Options) (TheoremResult, error) {
-	if _, err := o.withDefaults(); err != nil {
+	if _, err := o.WithDefaults(); err != nil {
 		return TheoremResult{}, err
 	}
 	p := PaperPowerFunc()
@@ -84,7 +84,7 @@ type SchedulerResult struct {
 // RunScheduler compares the energy-aware SRPT scheduler against processor
 // sharing for two 10-Gbit flows on the calibrated curve.
 func RunScheduler(o Options) (SchedulerResult, error) {
-	if _, err := o.withDefaults(); err != nil {
+	if _, err := o.WithDefaults(); err != nil {
 		return SchedulerResult{}, err
 	}
 	p := PaperPowerFunc()
@@ -125,7 +125,7 @@ type FrontierResult struct {
 // RunFrontier sweeps the weighted-share weight from fair to serial and
 // records Jain's index, energy, and savings at each step.
 func RunFrontier(o Options) (FrontierResult, error) {
-	if _, err := o.withDefaults(); err != nil {
+	if _, err := o.WithDefaults(); err != nil {
 		return FrontierResult{}, err
 	}
 	p := PaperPowerFunc()

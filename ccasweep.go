@@ -127,7 +127,7 @@ func sweepKey(o Options) string {
 // memoized on disk, so a fresh process replays a warm sweep without
 // simulating anything.
 func RunCCASweep(o Options) (*SweepResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +183,7 @@ func runCCASweep(o Options) (*SweepResult, error) {
 	for i := range runs {
 		runs[i] = make([]testbed.RunResult, o.Reps)
 	}
-	store := o.cacheStore()
+	store := o.CacheStore()
 	err := testbed.ForEach(len(specs)*o.Reps, o.Workers, func(task int) error {
 		s, rep := specs[task/o.Reps], task%o.Reps
 		// Per-(cell, repetition) memoization: the key is the cell's
@@ -218,7 +218,7 @@ func runCCASweep(o Options) (*SweepResult, error) {
 
 	for ci, s := range specs {
 		cell := cellFromRuns(s.cca, s.mtu, runs[ci])
-		o.logf("sweep: %-9s mtu %-5d energy %s J  fct %s s  retx %s",
+		o.Logf("sweep: %-9s mtu %-5d energy %s J  fct %s s  retx %s",
 			s.cca, s.mtu, stats.Summary(cell.EnergyJ), stats.Summary(cell.FCTSecs), stats.Summary(cell.Retx))
 		res.Cells = append(res.Cells, cell)
 	}

@@ -105,7 +105,7 @@ func TestSweepKeyAuditsOptionsFields(t *testing.T) {
 		// The sweep runs on the dumbbell, which is a single partition:
 		// Shards never reaches its engine (TestDumbbellIgnoresShards pins
 		// this), so it must not split the sweep cache. Fat-tree experiment
-		// cache ids DO record sharded-vs-monolithic (Options.shardTag).
+		// cache ids DO record sharded-vs-monolithic (Options.ShardTag).
 		"Shards": func(o *Options) { o.Shards++ },
 	}
 

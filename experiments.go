@@ -1,170 +1,39 @@
 package greenenvy
 
 import (
-	"fmt"
-	"runtime"
-
-	"greenenvy/internal/cache"
+	"greenenvy/internal/registry"
 	"greenenvy/internal/sim"
 	"greenenvy/internal/testbed"
 )
 
+// Options, the repetition harness, and the persistent-cache plumbing live
+// in internal/registry (shared with the scenario compiler); this file keeps
+// the root package's historical names pointing at them.
+
 // Options scales the experiment runners. The zero value gives a fast,
 // laptop-friendly configuration; Paper() gives the paper's full parameters.
-type Options struct {
-	// Reps is the number of repetitions per scenario (the paper uses 10).
-	// Default 3.
-	Reps int
-	// Scale multiplies the paper's transfer sizes, in (0, 1]. The CCA
-	// sweep (Figures 5–8) moves 50 GB per run at Scale 1; the default
-	// 0.04 moves 2 GB, preserving every steady-state ratio while keeping
-	// runs short. Figures 1–4 use the paper's sizes already at Scale 1
-	// and honor Scale likewise.
-	Scale float64
-	// Seed drives all randomness. Default 1.
-	Seed uint64
-	// Workers bounds how many simulator runs execute concurrently. Each
-	// repetition is an independent, seed-deterministic engine, so results
-	// are byte-identical for every worker count; only wall-clock time
-	// changes. Default runtime.GOMAXPROCS(0); 1 forces the serial path.
-	Workers int
-	// CacheDir, when set, enables the persistent content-addressed result
-	// cache: every (experiment cell, repetition) simulation result is
-	// memoized on disk keyed by its result-affecting inputs plus the
-	// simulator version stamp (see cacheVersionStamp), so repeated runs —
-	// same or higher Reps, any Workers — replay from disk instead of
-	// simulating, with byte-identical results. Empty disables persistence
-	// (the in-process sweep cache still applies).
-	CacheDir string
-	// NoCache bypasses the persistent cache even when CacheDir is set:
-	// nothing is read from or written to disk, forcing full recomputation.
-	NoCache bool
-	// Shards, when positive, runs each fat-tree repetition on the sharded
-	// conservative-synchronization engine with up to this many workers
-	// (testbed.Options.Shards). Results for a given topology are
-	// byte-identical for every positive value — only wall-clock changes —
-	// but differ from the monolithic (0) schedule, so Shards>0 selects a
-	// separate cache lineage. Dumbbell experiments ignore it. Composes
-	// with Workers: repetitions fan out first, shards within each.
-	Shards int
-	// Verbose, when set, makes runners print progress lines.
-	Verbose bool
-}
-
-// withDefaults fills unset fields and validates the rest. Every Run* entry
-// point calls it first and returns its error — bad caller input is an
-// error, never a panic.
-func (o Options) withDefaults() (Options, error) {
-	if o.Reps == 0 {
-		o.Reps = 3
-	}
-	if o.Scale == 0 {
-		o.Scale = 0.04
-	}
-	if o.Scale < 0 || o.Scale > 1 {
-		return Options{}, fmt.Errorf("greenenvy: Scale %v out of (0, 1]", o.Scale)
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Workers < 1 {
-		o.Workers = 1
-	}
-	if o.Shards < 0 {
-		return Options{}, fmt.Errorf("greenenvy: Shards %d negative", o.Shards)
-	}
-	return o, nil
-}
-
-// shardTag collapses Shards to the single bit that affects results: the
-// sharded schedule is byte-identical for every positive worker count, so
-// cache identities record only sharded-vs-monolithic.
-func (o Options) shardTag() int {
-	if o.Shards > 0 {
-		return 1
-	}
-	return 0
-}
+// See registry.Options for field documentation.
+type Options = registry.Options
 
 // Paper returns the paper's full experiment parameters: 10 repetitions,
 // full 50 GB transfers. Expect the CCA sweep to take a long while.
-func Paper() Options { return Options{Reps: 10, Scale: 1.0} }
-
-func (o Options) logf(format string, args ...any) {
-	if o.Verbose {
-		fmt.Printf(format+"\n", args...)
-	}
-}
+func Paper() Options { return registry.Paper() }
 
 // paperGbit is 1 Gbit in bytes: the Figure 1 flows each move 10 Gbit.
-const paperGbit = 1_000_000_000 / 8
+const paperGbit = registry.PaperGbit
 
 // deadlineFor bounds a run generously: assume at least 500 Mb/s of
 // progress plus a 10 s margin.
-func deadlineFor(bytes uint64) sim.Duration {
-	return sim.Duration(bytes*8/500e6+10) * sim.Second
-}
+func deadlineFor(bytes uint64) sim.Duration { return registry.DeadlineFor(bytes) }
 
 // repeatRuns centralizes the repetition loop with derived seeds, fanned out
-// over Options.Workers goroutines. Each repetition builds and runs its own
-// testbed, so build must not capture state shared across repetitions.
-//
-// id names the experiment cell for the persistent cache and must encode
-// every result-affecting parameter that the per-repetition seed does not
-// already capture (transfer bytes, rates, loads, topology, CCA, MTU, ...).
-// Two call sites with the same id and seed MUST build identical testbeds.
+// over Options.Workers goroutines. See registry.RepeatRuns.
 func repeatRuns(o Options, id string, build func(seed uint64) (*testbed.Testbed, error), deadline sim.Duration) ([]testbed.RunResult, error) {
-	store := o.cacheStore()
-	return testbed.RepeatParallel(o.Reps, o.Seed, o.Workers, func(rep int, seed uint64) (testbed.RunResult, error) {
-		key := cache.NewKey("run", id, seed)
-		var cached testbed.RunResult
-		if store.Get(key, &cached) {
-			return cached, nil
-		}
-		tb, err := build(seed)
-		if err != nil {
-			return testbed.RunResult{}, err
-		}
-		r, err := tb.Run(deadline)
-		if err == nil {
-			// Best-effort: a full disk or unwritable store must not
-			// fail the experiment, only future warm starts.
-			_ = store.Put(key, r)
-		}
-		return r, err
-	})
+	return registry.RepeatRuns(o, id, build, deadline)
 }
 
-// repeatStreamRuns is repeatRuns for the streaming churn path: the same
-// derived-seed repetition fan-out and per-repetition persistent caching,
-// but each repetition produces an O(1)-size testbed.StreamResult instead
-// of retained per-flow reports. Stream runs cache under the "stream" key
-// kind so their gob shape evolves independently of RunResult's.
+// repeatStreamRuns is repeatRuns for the streaming churn path. See
+// registry.RepeatStreamRuns.
 func repeatStreamRuns(o Options, id string, run func(seed uint64) (testbed.StreamResult, error)) ([]testbed.StreamResult, error) {
-	store := o.cacheStore()
-	root := sim.NewRNG(o.Seed)
-	out := make([]testbed.StreamResult, o.Reps)
-	err := testbed.ForEach(o.Reps, o.Workers, func(rep int) error {
-		seed := root.Split(uint64(rep)).Uint64()
-		key := cache.NewKey("stream", id, seed)
-		var cached testbed.StreamResult
-		if store.Get(key, &cached) {
-			out[rep] = cached
-			return nil
-		}
-		r, err := run(seed)
-		if err != nil {
-			return fmt.Errorf("repetition %d: %w", rep, err)
-		}
-		_ = store.Put(key, r)
-		out[rep] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return registry.RepeatStreamRuns(o, id, run)
 }

@@ -65,7 +65,7 @@ type IncastResult struct {
 // RunIncast measures fair-vs-serial energy for 2..16 synchronized senders
 // moving a fixed aggregate volume through the 10 Gb/s bottleneck.
 func RunIncast(o Options) (IncastResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return IncastResult{}, err
 	}
@@ -134,7 +134,7 @@ func RunIncast(o Options) (IncastResult, error) {
 			FairDuration:   fairD,
 			SerialDuration: serialD,
 		})
-		o.logf("incast: n=%d savings %.1f%% (analytic %.1f%%)", n, (fairJ-serialJ)/fairJ*100, analytic)
+		o.Logf("incast: n=%d savings %.1f%% (analytic %.1f%%)", n, (fairJ-serialJ)/fairJ*100, analytic)
 	}
 	return res, nil
 }
@@ -167,7 +167,7 @@ type SameSenderResult struct {
 
 // RunSameSender measures the same-sender multiplexing variant of Figure 1.
 func RunSameSender(o Options) (SameSenderResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return SameSenderResult{}, err
 	}
@@ -264,7 +264,7 @@ type AblationResult struct {
 // The options are validated but otherwise unused: the table is closed-form.
 func RunAblations(o Options) (AblationResult, error) {
 	var res AblationResult
-	if _, err := o.withDefaults(); err != nil {
+	if _, err := o.WithDefaults(); err != nil {
 		return res, err
 	}
 	flows := []Flow{{Bytes: 1.25e9}, {Bytes: 1.25e9}}

@@ -36,35 +36,6 @@ func init() {
 	})
 }
 
-// fatTreeArityFor returns the smallest even k whose k³/4 hosts fit n
-// senders plus the receiver.
-func fatTreeArityFor(n int) int {
-	for k := 4; ; k += 2 {
-		if k*k*k/4 >= n+1 {
-			return k
-		}
-	}
-}
-
-// incastSenderHosts picks n sender hosts spread round-robin across the
-// tree's edge switches (racks), skipping the receiver at host 0: host
-// h = edge*(k/2) + slot, filling slot 0 on every rack before slot 1.
-func incastSenderHosts(k, n int) []netsim.NodeID {
-	half := k / 2
-	numEdges := k * k / 2
-	hosts := make([]netsim.NodeID, 0, n)
-	for slot := 0; slot < half && len(hosts) < n; slot++ {
-		for e := 0; e < numEdges && len(hosts) < n; e++ {
-			h := netsim.NodeID(e*half + slot)
-			if h == 0 {
-				continue // the receiver's slot
-			}
-			hosts = append(hosts, h)
-		}
-	}
-	return hosts
-}
-
 // FatTreeIncastPoint is one fan-in width of the fat-tree incast sweep.
 type FatTreeIncastPoint struct {
 	Senders int
@@ -92,7 +63,7 @@ type FatTreeIncastResult struct {
 // edge downlink; serial chains the transfers. The 1024-sender width only
 // runs at Scale >= 0.25 so tiny-scale smoke runs stay cheap.
 func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return FatTreeIncastResult{}, err
 	}
@@ -110,12 +81,12 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 		if per == 0 {
 			return FatTreeIncastResult{}, fmt.Errorf("greenenvy: scale too small for %d-way incast", n)
 		}
-		k := fatTreeArityFor(n)
-		senders := incastSenderHosts(k, n)
+		k := netsim.FatTreeArityFor(n)
+		senders := netsim.IncastHosts(k, n)
 		hostBps := netsim.DefaultFatTree(k).HostBps
 
 		run := func(serial bool) (float64, float64, error) {
-			id := fmt.Sprintf("fattree-incast/n=%d/k=%d/ecmp=%d/serial=%t/per=%d/sh=%d", n, k, o.Seed, serial, per, o.shardTag())
+			id := fmt.Sprintf("fattree-incast/n=%d/k=%d/ecmp=%d/serial=%t/per=%d/sh=%d", n, k, o.Seed, serial, per, o.ShardTag())
 			aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 				cfg := netsim.DefaultFatTree(k)
 				cfg.ECMPSeed = o.Seed
@@ -149,7 +120,7 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			o.logf("fattree-incast: n=%d serial=%t %.0f events/run", n, serial, aggs[2].Mean)
+			o.Logf("fattree-incast: n=%d serial=%t %.0f events/run", n, serial, aggs[2].Mean)
 			return aggs[0].Mean, aggs[1].Mean, nil
 		}
 		fairJ, fairD, err := run(false)
@@ -186,7 +157,7 @@ func RunFatTreeIncast(o Options) (FatTreeIncastResult, error) {
 			FairDuration:   fairD,
 			SerialDuration: serialD,
 		})
-		o.logf("fattree-incast: n=%d k=%d savings %.1f%% (analytic %.1f%%)", n, k, (fairJ-serialJ)/fairJ*100, analytic)
+		o.Logf("fattree-incast: n=%d k=%d savings %.1f%% (analytic %.1f%%)", n, k, (fairJ-serialJ)/fairJ*100, analytic)
 	}
 	return res, nil
 }
@@ -288,7 +259,7 @@ func crossRackCollide(ft *netsim.FatTree) (f1, f2 [2]netsim.NodeID, shared *nets
 // every core downlink (only the contended one matters); fraction 1.0 is the
 // serial schedule.
 func RunCrossRack(o Options) (CrossRackResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return CrossRackResult{}, err
 	}
@@ -335,7 +306,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 
 	deadline := deadlineFor(2 * bytes)
 	for _, f := range fractions {
-		id := fmt.Sprintf("crossrack/k=%d/ecmp=%d/frac=%.2f/bytes=%d/sh=%d", k, o.Seed, f, bytes, o.shardTag())
+		id := fmt.Sprintf("crossrack/k=%d/ecmp=%d/frac=%.2f/bytes=%d/sh=%d", k, o.Seed, f, bytes, o.ShardTag())
 		aggs, err := runCell(o, id, func(seed uint64) (*testbed.Testbed, error) {
 			cfg := baseCfg
 			if f < 1.0 {
@@ -381,7 +352,7 @@ func RunCrossRack(o Options) (CrossRackResult, error) {
 			StdEnergyJ:         aggs[0].Std,
 			AnalyticSavingsPct: analytic[f],
 		})
-		o.logf("crossrack: f=%.2f energy=%.1f±%.1f J (%.0f events/run)", f, aggs[0].Mean, aggs[0].Std, aggs[1].Mean)
+		o.Logf("crossrack: f=%.2f energy=%.1f±%.1f J (%.0f events/run)", f, aggs[0].Mean, aggs[0].Std, aggs[1].Mean)
 	}
 
 	res.FairEnergyJ = res.Points[0].MeanEnergyJ

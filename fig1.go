@@ -54,7 +54,7 @@ type Fig1Result struct {
 // complete. The paper's result: the fair split is worst; the serial
 // schedule saves ≈16 %.
 func RunFig1(o Options) (Fig1Result, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return Fig1Result{}, err
 	}
@@ -120,7 +120,7 @@ func RunFig1(o Options) (Fig1Result, error) {
 			AnalyticSavingsPct: analytic[f],
 			JainIndex:          jain,
 		})
-		o.logf("fig1: f=%.2f energy=%.1f±%.1f J", f, energy.Mean, energy.Std)
+		o.Logf("fig1: f=%.2f energy=%.1f±%.1f J", f, energy.Mean, energy.Std)
 	}
 
 	res.FairEnergyJ = res.Points[0].MeanEnergyJ

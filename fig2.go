@@ -43,7 +43,7 @@ type Fig2Result struct {
 // to each throughput step, plus the idle point, and constructs the tangent
 // line from the measured endpoints.
 func RunFig2(o Options) (Fig2Result, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return Fig2Result{}, err
 	}
@@ -53,7 +53,7 @@ func RunFig2(o Options) (Fig2Result, error) {
 	idle := measureIdleWatts()
 	res.Points = append(res.Points, Fig2Point{Gbps: 0, SmoothW: idle, TangentW: idle})
 	res.IdleW = idle
-	o.logf("fig2: idle %.2f W", idle)
+	o.Logf("fig2: idle %.2f W", idle)
 
 	// Duration target per run (seconds of steady sending).
 	hold := 2.0 * o.Scale / 0.04 // 2 s at the default scale
@@ -77,7 +77,7 @@ func RunFig2(o Options) (Fig2Result, error) {
 		}
 		watts := aggs[0]
 		res.Points = append(res.Points, Fig2Point{Gbps: gbps, SmoothW: watts.Mean, StdW: watts.Std})
-		o.logf("fig2: %.0f Gb/s -> %.2f ± %.2f W", gbps, watts.Mean, watts.Std)
+		o.Logf("fig2: %.0f Gb/s -> %.2f ± %.2f W", gbps, watts.Mean, watts.Std)
 	}
 
 	// Tangent line between the measured idle and line-rate points.

@@ -38,14 +38,14 @@ func init() {
 // RunFig3 runs the two scenarios once each (traces, not statistics) and
 // samples per-flow goodput every 10 ms.
 func RunFig3(o Options) (Fig3Result, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return Fig3Result{}, err
 	}
 	bytes := uint64(10 * paperGbit * o.Scale)
 	res := Fig3Result{FlowGbit: float64(bytes) * 8 / 1e9}
 
-	store := o.cacheStore()
+	store := o.CacheStore()
 	trace := func(serial bool) ([]Fig3Sample, error) {
 		// Traces are not RunResults, so they get their own cached value
 		// type; the key carries the scenario, size, and seed.

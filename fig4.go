@@ -49,7 +49,7 @@ type Fig4Result struct {
 // and, for each load, the fair-vs-serial energy delta for two competing
 // flows.
 func RunFig4(o Options) (Fig4Result, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return Fig4Result{}, err
 	}
@@ -81,7 +81,7 @@ func RunFig4(o Options) (Fig4Result, error) {
 			}
 			watts := aggs[0]
 			res.Points = append(res.Points, Fig4Point{Load: load, Gbps: gbps, MeanW: watts.Mean, StdW: watts.Std})
-			o.logf("fig4: load %.0f%% %.1f Gb/s -> %.2f W", load*100, gbps, watts.Mean)
+			o.Logf("fig4: load %.0f%% %.1f Gb/s -> %.2f W", load*100, gbps, watts.Mean)
 		}
 	}
 
@@ -139,7 +139,7 @@ func RunFig4(o Options) (Fig4Result, error) {
 			SavingsPct:  (fairJ - serialJ) / fairJ * 100,
 			PaperTarget: targets[load],
 		})
-		o.logf("fig4: load %.0f%% savings %.2f%%", load*100, (fairJ-serialJ)/fairJ*100)
+		o.Logf("fig4: load %.0f%% savings %.2f%%", load*100, (fairJ-serialJ)/fairJ*100)
 	}
 
 	dc := PaperDatacenter()

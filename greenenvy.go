@@ -94,10 +94,7 @@ func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
 
 // PaperPowerFunc adapts the calibrated model into the Figure 2 p(x) curve:
 // sender watts as a function of goodput at MTU 9000 under CUBIC.
-func PaperPowerFunc() PowerFunc {
-	m := energy.DefaultModel()
-	return func(bps float64) float64 { return m.SenderPower(bps, 9000-60, "cubic") }
-}
+func PaperPowerFunc() PowerFunc { return energy.PaperPower() }
 
 // Re-exported testbed types for building custom experiments.
 type (

@@ -260,18 +260,18 @@ func TestRunCCASweepFigures5678(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	if _, err := (Options{Scale: 2}).withDefaults(); err == nil {
+	if _, err := (Options{Scale: 2}).WithDefaults(); err == nil {
 		t.Fatal("Scale > 1 did not return an error")
 	}
-	if _, err := (Options{Scale: -0.5}).withDefaults(); err == nil {
+	if _, err := (Options{Scale: -0.5}).WithDefaults(); err == nil {
 		t.Fatal("negative Scale did not return an error")
 	}
-	o, err := Options{}.withDefaults()
+	o, err := Options{}.WithDefaults()
 	if err != nil {
 		t.Fatalf("zero Options: %v", err)
 	}
 	if o.Scale <= 0 || o.Reps <= 0 {
-		t.Fatalf("withDefaults left zero fields: %+v", o)
+		t.Fatalf("WithDefaults left zero fields: %+v", o)
 	}
 }
 

@@ -1,64 +1,38 @@
 package greenenvy
 
 import (
+	"greenenvy/internal/registry"
 	"greenenvy/internal/sim"
-	"greenenvy/internal/stats"
 	"greenenvy/internal/testbed"
 )
 
-// This file is the shared run harness behind the registered experiments.
-// repeatRuns (experiments.go) owns repetition fan-out, derived seeds, and
-// persistent-cache threading; the helpers here own the per-cell metric
-// aggregation that every figure used to hand-roll: extract one or more
-// scalars from each repetition's RunResult in run order and summarize them
-// with stats.MeanStd. Experiments keep only their scenario construction and
-// result interpretation.
+// The shared run harness (cell aggregation + metric extractors) lives in
+// internal/registry; this file keeps the root package's historical names.
+// cellFromRuns stays here because SweepCell is a root type.
 
-// buildFunc constructs one repetition's testbed from its derived seed. It
-// must not capture state shared across repetitions; two call sites with the
-// same cell id and seed must build identical testbeds (see repeatRuns).
-type buildFunc = func(seed uint64) (*testbed.Testbed, error)
+// buildFunc constructs one repetition's testbed from its derived seed. See
+// registry.BuildFunc.
+type buildFunc = registry.BuildFunc
 
 // runMetric extracts one scalar from a repetition's bracketed measurement.
-type runMetric func(testbed.RunResult) float64
+type runMetric = registry.Metric
 
-// Shared metric extractors.
-
-// senderJoules is the total energy across all sender hosts.
-func senderJoules(r testbed.RunResult) float64 { return r.TotalSenderJ }
-
-// runSeconds is the experiment's wall-clock (simulated) duration.
-func runSeconds(r testbed.RunResult) float64 { return r.Duration.Seconds() }
-
-// eventsFired is the discrete-event count of the run, aggregated across
-// every partition engine on the sharded path (never just shard 0's).
-func eventsFired(r testbed.RunResult) float64 { return float64(r.EventsFired) }
-
-// firstSenderWatts is host 0's average power over the run.
-func firstSenderWatts(r testbed.RunResult) float64 {
-	return r.SenderEnergyJ[0] / r.Duration.Seconds()
-}
+// Shared metric extractors — see the registry package for documentation.
+var (
+	senderJoules     = registry.SenderJoules
+	runSeconds       = registry.RunSeconds
+	eventsFired      = registry.EventsFired
+	firstSenderWatts = registry.FirstSenderWatts
+)
 
 // agg summarizes one metric over a cell's repetitions.
-type agg struct{ Mean, Std float64 }
+type agg = registry.Agg
 
 // runCell runs one experiment cell — Reps repetitions fanned out over
 // Options.Workers with per-repetition persistent caching — and aggregates
 // each requested metric over the repetitions in run order.
 func runCell(o Options, id string, build buildFunc, deadline sim.Duration, metrics ...runMetric) ([]agg, error) {
-	runs, err := repeatRuns(o, id, build, deadline)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]agg, len(metrics))
-	for i, m := range metrics {
-		vals := make([]float64, len(runs))
-		for j, r := range runs {
-			vals[j] = m(r)
-		}
-		out[i].Mean, out[i].Std = stats.MeanStd(vals)
-	}
-	return out, nil
+	return registry.RunCell(o, id, build, deadline, metrics...)
 }
 
 // cellFromRuns assembles the per-repetition measurement vectors of one

@@ -19,6 +19,24 @@
 //     cannot silently compute results under an undeclared cache namespace
 //     and corrupt key hygiene
 //
+// Scenario-compiled experiments register through two funnels instead of a
+// literal Experiment{...}:
+//
+//   - RegisterScenario(name) compiles a built-in spec at init time. Each
+//     call must pass a non-empty string literal, the name must be unique
+//     against every other registration, and its fact-table entry must be
+//     exactly ScenarioCacheIDPrefix — the compiler namespaces every cell id
+//     under "scenario/<spec-digest>/", so the static table records the
+//     namespace (the digest part is the spec's own content address).
+//   - RegisterScenarioFile(path) loads user spec files at runtime. It is
+//     documented-exempt from the static audit: runtime-loaded specs cannot
+//     appear in a compile-time fact table, and they are digest-namespaced
+//     under ScenarioCacheIDPrefix by construction, so they cannot collide
+//     with any audited prefix.
+//
+// Register calls inside those two funnel bodies are the one place a
+// non-literal Experiment argument is allowed.
+//
 // Suppress a reviewed exception with
 // `//greenvet:allow registryhygiene <reason>`.
 package registryhygiene
@@ -63,6 +81,28 @@ func run(pass *analysis.Pass, facts map[string]string) (any, error) {
 		return true
 	})
 
+	// The scenario registration funnels: Register calls inside their bodies
+	// pass a compiled (non-literal) Experiment and are audited through the
+	// RegisterScenario rule instead.
+	type span struct{ lo, hi token.Pos }
+	var funnels []span
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && (fd.Name.Name == "RegisterScenario" || fd.Name.Name == "RegisterScenarioFile") && fd.Recv == nil {
+				funnels = append(funnels, span{fd.Pos(), fd.End()})
+			}
+		}
+	}
+	inFunnel := func(p token.Pos) bool {
+		for _, s := range funnels {
+			if s.lo <= p && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
 	seen := map[string]token.Pos{} // name/alias → first registration site
 	pass.Inspect(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -70,21 +110,54 @@ func run(pass *analysis.Pass, facts map[string]string) (any, error) {
 			return true
 		}
 		fn := analysis.CalleeFunc(info, call)
-		if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
 			return true
 		}
-		if len(call.Args) != 1 {
+		if fn.Name() == "RegisterScenario" && len(call.Args) == 1 {
+			checkScenarioRegistration(pass, call, facts, literals, seen)
+			return true
+		}
+		if fn.Name() != "Register" || len(call.Args) != 1 {
 			return true
 		}
 		lit := compositeArg(call.Args[0])
 		if lit == nil {
-			pass.Reportf(call.Pos(), "Register argument must be a literal Experiment{...} so the registry stays statically auditable")
+			if !inFunnel(call.Pos()) {
+				pass.Reportf(call.Pos(), "Register argument must be a literal Experiment{...} so the registry stays statically auditable")
+			}
 			return true
 		}
 		checkRegistration(pass, call, lit, facts, literals, seen)
 		return true
 	})
 	return nil, nil
+}
+
+// checkScenarioRegistration audits one RegisterScenario(name) call: literal
+// unique name, fact-table entry pinned to the scenario cache namespace.
+func checkScenarioRegistration(pass *analysis.Pass, call *ast.CallExpr, facts map[string]string, literals map[string]bool, seen map[string]token.Pos) {
+	name, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || name == "" {
+		pass.Reportf(call.Args[0].Pos(), "RegisterScenario name must be a non-empty string literal so the registration stays statically auditable")
+		return
+	}
+	if prev, dup := seen[name]; dup {
+		pass.Reportf(call.Pos(), "experiment name/alias %q already registered at %s; Register would panic at init", name, pass.Fset.Position(prev))
+	} else {
+		seen[name] = call.Pos()
+	}
+	prefix, known := facts[name]
+	if !known {
+		pass.Reportf(call.Pos(), "scenario experiment %q has no cache-id entry in the fact table (internal/analysis/registryhygiene/facts.go): declare it as %q", name, ScenarioCacheIDPrefix)
+		return
+	}
+	if prefix != ScenarioCacheIDPrefix {
+		pass.Reportf(call.Pos(), "scenario experiment %q must declare the %q cache namespace in the fact table, not %q: the compiler keys every cell under the spec digest inside that namespace", name, ScenarioCacheIDPrefix, prefix)
+		return
+	}
+	if !prefixAppears(literals, prefix) {
+		pass.Reportf(call.Pos(), "scenario experiment %q declares cache-id prefix %q but no string literal in the package starts with it: the CachePrefix cross-check is missing or diverged from the fact table", name, prefix)
+	}
 }
 
 // compositeArg unwraps &Experiment{...} / Experiment{...} to the literal.

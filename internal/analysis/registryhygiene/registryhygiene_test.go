@@ -12,12 +12,14 @@ import (
 // names/aliases, fact-table membership, and prefix presence.
 func TestRegistryhygiene(t *testing.T) {
 	a := registryhygiene.New(map[string]string{
-		"good":        "good/",
-		"emptydesc":   "",
-		"nilrun":      "",
-		"dup":         "",
-		"aliased":     "",
-		"ghostprefix": "ghost/",
+		"good":              "good/",
+		"emptydesc":         "",
+		"nilrun":            "",
+		"dup":               "",
+		"aliased":           "",
+		"ghostprefix":       "ghost/",
+		"scenario-good":     registryhygiene.ScenarioCacheIDPrefix,
+		"scenario-badentry": "elsewhere/",
 	})
 	analysistest.Run(t, "testdata", a)
 }

@@ -23,9 +23,27 @@ func runStub(Options) (*Result, error) { return nil, nil }
 // literal carrying the declared "good/" prefix.
 const goodCacheID = "good/run"
 
+// scenarioPrefix stands in for the root package's CachePrefix cross-check:
+// the literal carrying the "scenario/" namespace.
+const scenarioPrefix = "scenario/"
+
 var suffix = "computed"
 
 func makeExp() Experiment { return Experiment{} }
+
+// RegisterScenario and RegisterScenarioFile mirror the root package's
+// scenario funnels: Register calls inside their bodies legitimately pass a
+// compiled, non-literal Experiment.
+func RegisterScenario(name string) {
+	e := Experiment{Name: name, Description: "compiled", Run: runStub}
+	Register(e)
+}
+
+func RegisterScenarioFile(path string) (string, error) {
+	e := makeExp()
+	Register(e)
+	return e.Name, nil
+}
 
 func init() {
 	Register(Experiment{
@@ -80,4 +98,11 @@ func init() {
 		Run:         runStub,
 	})
 	Register(makeExp()) // want `must be a literal Experiment`
+
+	// The scenario funnel rules.
+	RegisterScenario("scenario-good")
+	RegisterScenario("x" + suffix)        // want `name must be a non-empty string literal`
+	RegisterScenario("scenario-good")     // want `already registered`
+	RegisterScenario("scenario-unknown")  // want `no cache-id entry in the fact table`
+	RegisterScenario("scenario-badentry") // want `must declare the "scenario/" cache namespace`
 }

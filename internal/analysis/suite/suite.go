@@ -44,6 +44,8 @@ func (s Scoped) AppliesTo(importPath string) bool {
 // results: everything between a seed and a rendered table/SVG.
 var resultAffecting = []string{
 	"greenenvy",
+	"greenenvy/internal/registry",
+	"greenenvy/internal/scenario",
 	"greenenvy/internal/sim",
 	"greenenvy/internal/netsim",
 	"greenenvy/internal/tcp",

@@ -34,6 +34,15 @@ func (m Model) SenderPower(goodputBps float64, payloadBytes int, ccaName string)
 	return m.Curve.PowerAt(m.SenderUtilization(goodputBps, payloadBytes, ccaName))
 }
 
+// PaperPower adapts the calibrated default model into the paper's Figure 2
+// p(x) curve: sender watts as a function of goodput at MTU 9000 under
+// CUBIC. Every analytic savings prediction in the experiments evaluates
+// this curve.
+func PaperPower() func(bps float64) float64 {
+	m := DefaultModel()
+	return func(bps float64) float64 { return m.SenderPower(bps, 9000-60, "cubic") }
+}
+
 // SenderPowerLoaded is SenderPower with an additional background compute
 // load (fraction of all cores), the §4.2 scenario.
 func (m Model) SenderPowerLoaded(goodputBps float64, payloadBytes int, ccaName string, baseLoad float64) float64 {

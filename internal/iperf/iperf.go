@@ -32,6 +32,12 @@ type Spec struct {
 	Config tcp.Config
 	// StartAt delays the client's start relative to run begin.
 	StartAt sim.Time
+	// Duration, when positive, stops the transfer that long after the
+	// client actually starts (iperf3 -t): unsent data is trimmed at the
+	// stop instant and the flow completes once everything already in
+	// flight is acknowledged. Combines with Bytes — whichever limit is
+	// reached first ends the transfer.
+	Duration sim.Duration
 	// Interval is the reporting granularity (default 100 ms).
 	Interval sim.Duration
 	// NoIntervals disables per-interval statistics entirely (no periodic
@@ -89,7 +95,11 @@ type Client struct {
 	split      bool
 	after      *Client
 	startRelay func(fire func())
-	onDone     []func()
+	// stopEv is the pending Duration time-limit event; cancelled when the
+	// transfer completes first (and cleared on Reset, so a pooled client
+	// never inherits a stale stop).
+	stopEv *sim.Event
+	onDone []func()
 	// OnComplete fires when the transfer finishes.
 	OnComplete func(Report)
 }
@@ -188,6 +198,10 @@ func (c *Client) Reset(spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dst
 	c.done = false
 	c.after = nil
 	c.startRelay = nil
+	if c.stopEv != nil {
+		c.stopEv.Cancel()
+		c.stopEv = nil
+	}
 	c.onDone = c.onDone[:0]
 	return nil
 }
@@ -270,6 +284,12 @@ func (c *Client) Start() {
 
 func (c *Client) startNow() {
 	c.sender.Start()
+	if c.spec.Duration > 0 {
+		c.stopEv = c.engine.After(c.spec.Duration, func() {
+			c.stopEv = nil
+			c.sender.Finish()
+		})
+	}
 	if c.split || c.spec.NoIntervals {
 		// Interval stats sample the receiver; with the receiver on another
 		// shard (or with NoIntervals churn flows) the summary report is
@@ -305,6 +325,10 @@ func (c *Client) closeInterval() {
 }
 
 func (c *Client) finish() {
+	if c.stopEv != nil {
+		c.stopEv.Cancel()
+		c.stopEv = nil
+	}
 	if !c.split && !c.spec.NoIntervals {
 		c.closeInterval()
 	}

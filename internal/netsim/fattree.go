@@ -349,3 +349,34 @@ func (ft *FatTree) PathFor(flow FlowID, src, dst NodeID) []*Link {
 	}
 	return nil
 }
+
+// FatTreeArityFor returns the smallest even arity k >= 4 whose k³/4 hosts
+// fit n senders plus one receiver — the fabric-sizing rule the incast
+// experiments share.
+func FatTreeArityFor(n int) int {
+	for k := 4; ; k += 2 {
+		if k*k*k/4 >= n+1 {
+			return k
+		}
+	}
+}
+
+// IncastHosts picks n sender hosts spread round-robin across the tree's
+// edge switches (racks), skipping the receiver at host 0: host
+// h = edge*(k/2) + slot, filling slot 0 on every rack before slot 1. The
+// spread maximizes cross-rack fan-in toward the receiver's edge downlink.
+func IncastHosts(k, n int) []NodeID {
+	half := k / 2
+	numEdges := k * k / 2
+	hosts := make([]NodeID, 0, n)
+	for slot := 0; slot < half && len(hosts) < n; slot++ {
+		for e := 0; e < numEdges && len(hosts) < n; e++ {
+			h := NodeID(e*half + slot)
+			if h == 0 {
+				continue // the receiver's slot
+			}
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}

@@ -55,6 +55,9 @@ func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration,
 	if queue == nil || dst == nil || engine == nil {
 		panic("netsim: NewLink requires engine, queue and dst")
 	}
+	if b, ok := queue.(EngineBinder); ok {
+		b.BindEngine(engine)
+	}
 	l := &Link{Name: name, RateBps: rateBps, Delay: delay, engine: engine, queue: queue, dst: dst}
 	l.txDone = engine.NewTimer(l.onTxDone)
 	l.wire = sim.NewDelayLine(engine, dst.HandlePacket)

@@ -35,6 +35,21 @@ type DumbbellConfig struct {
 	// MarkBytes is the DCTCP ECN threshold for the default bottleneck
 	// queue (0 = no marking).
 	MarkBytes int
+	// AccessDelays optionally overrides LinkDelay on a per-sender basis:
+	// sender i's uplinks and downlink use AccessDelays[i] when the slice
+	// reaches that far and the entry is positive. Heterogeneous access
+	// delays give flows unequal RTTs over the shared bottleneck (the
+	// classic RTT-unfairness axis). The receiver's access link and the
+	// bottleneck itself always use LinkDelay.
+	AccessDelays []sim.Duration
+}
+
+// accessDelay resolves sender i's access-link propagation delay.
+func (cfg *DumbbellConfig) accessDelay(i int) sim.Duration {
+	if i < len(cfg.AccessDelays) && cfg.AccessDelays[i] > 0 {
+		return cfg.AccessDelays[i]
+	}
+	return cfg.LinkDelay
 }
 
 // DefaultDumbbell returns the §3 testbed: 10 Gb/s bottleneck, bonded
@@ -104,18 +119,19 @@ func NewDumbbell(engine *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 
 	for i := 0; i < cfg.Senders; i++ {
 		h := NewHost(NodeID(i), fmt.Sprintf("sender%d", i))
+		delay := cfg.accessDelay(i)
 		// Uplink(s): host -> switch, optionally bonded.
 		if cfg.BondedSenderLinks > 1 {
 			links := make([]*Link, cfg.BondedSenderLinks)
 			for j := range links {
-				links[j] = NewLink(engine, fmt.Sprintf("%s-uplink%d", h.Name, j), cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), d.Switch)
+				links[j] = NewLink(engine, fmt.Sprintf("%s-uplink%d", h.Name, j), cfg.AccessBps, delay, NewDropTail(0, 0), d.Switch)
 			}
 			h.SetEgress(NewBond(links...))
 		} else {
-			h.SetEgress(NewLink(engine, h.Name+"-uplink", cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), d.Switch))
+			h.SetEgress(NewLink(engine, h.Name+"-uplink", cfg.AccessBps, delay, NewDropTail(0, 0), d.Switch))
 		}
 		// Downlink: switch -> host (carries ACKs; never congested).
-		down := NewLink(engine, h.Name+"-downlink", cfg.AccessBps, cfg.LinkDelay, NewDropTail(0, 0), h)
+		down := NewLink(engine, h.Name+"-downlink", cfg.AccessBps, delay, NewDropTail(0, 0), h)
 		d.Switch.Connect(h.ID, down)
 		d.Senders = append(d.Senders, h)
 	}

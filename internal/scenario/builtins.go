@@ -1,0 +1,57 @@
+package scenario
+
+// Builtin specs: scenarios that ship registered in the root package's
+// experiment registry, expressed in the same declarative form a user's
+// -scenario file uses. Keeping them as data (not hand-built Experiments)
+// means the registry, the file loader, and the docs all exercise one
+// compiler path.
+
+// AQMMatrix is the registered aqm-matrix experiment: four same-CCA flows
+// on the dumbbell bottleneck, crossed over {droptail, codel, fq-codel, pie},
+// reporting J/GB and Jain fairness per cell.
+func AQMMatrix() Spec {
+	return Spec{
+		Name:        "aqm-matrix",
+		Description: "CCA x queue-discipline matrix on the dumbbell: J/GB and Jain fairness per cell",
+		Section:     "§5",
+		Order:       118,
+		Preset:      PresetAQMMatrix,
+		Topology: Topology{
+			Kind:    KindDumbbell,
+			Senders: 4,
+		},
+		Sweep: &Sweep{
+			GbitPerFlow: 2.5,
+			CCAs:        []string{"cubic", "reno", "bbr", "vegas"},
+			Queues: []QueueSpec{
+				{Kind: "droptail"},
+				{Kind: "codel"},
+				{Kind: "fq-codel"},
+				{Kind: "pie"},
+			},
+		},
+	}
+}
+
+// builtins maps registry names to their spec constructors.
+var builtins = map[string]func() Spec{
+	"aqm-matrix": AQMMatrix,
+}
+
+// Builtin returns the named built-in spec and whether it exists.
+func Builtin(name string) (Spec, bool) {
+	f, ok := builtins[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return f(), true
+}
+
+// BuiltinNames lists the built-in spec names.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ParseJSON decodes a spec from its JSON file form. Unknown fields are
+// rejected so a typo'd key fails loudly instead of silently running the
+// default experiment.
+func ParseJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, errf("parse json: %w", err)
+	}
+	// A trailing second document would silently be ignored otherwise.
+	if dec.More() {
+		return Spec{}, errf("parse json: trailing data after the spec object")
+	}
+	return s, nil
+}
+
+// ParseTOML decodes a spec from its TOML file form. The parser covers the
+// subset scenario files need — tables, arrays of tables, scalar and array
+// values — and funnels through the JSON decoder so both formats share one
+// schema and one unknown-field policy.
+func ParseTOML(data []byte) (Spec, error) {
+	tree, err := parseTOML(data)
+	if err != nil {
+		return Spec{}, errf("parse toml: %w", err)
+	}
+	js, err := json.Marshal(tree)
+	if err != nil {
+		return Spec{}, errf("parse toml: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(js))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, errf("parse toml: %w", err)
+	}
+	return s, nil
+}
+
+// LoadFile reads and parses a spec file, choosing the format by extension
+// (.json or .toml).
+func LoadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, errf("load %s: %w", path, err)
+	}
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		s, err := ParseJSON(data)
+		if err != nil {
+			return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+		}
+		return s, nil
+	case ".toml":
+		s, err := ParseTOML(data)
+		if err != nil {
+			return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+		}
+		return s, nil
+	default:
+		return Spec{}, errf("load %s: unsupported extension %q (want .json or .toml)", path, ext)
+	}
+}

@@ -1,0 +1,254 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML parses the TOML subset scenario files use into the
+// map[string]any shape json.Marshal expects:
+//
+//   - [table] and nested [table.sub] headers
+//   - [[array-of-tables]] headers (the flows/loads/queues lists)
+//   - key = value with bare keys (letters, digits, '_', '-')
+//   - values: basic strings, integers, floats (with TOML '_' separators),
+//     booleans, and flat arrays of those
+//   - '#' comments and blank lines
+//
+// It is deliberately not a full TOML implementation (no datetimes, inline
+// tables, multiline strings, or dotted keys): the container bakes no TOML
+// dependency, and specs that need more structure can use the JSON form.
+// Anything outside the subset is a parse error, never a silent skip.
+func parseTOML(data []byte) (map[string]any, error) {
+	root := map[string]any{}
+	current := root
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("line %d: unterminated [[table]] header", lineNo)
+			}
+			path := strings.TrimSpace(line[2 : len(line)-2])
+			tbl, err := appendTable(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			current = tbl
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("line %d: unterminated [table] header", lineNo)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			tbl, err := enterTable(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			current = tbl
+		default:
+			key, val, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: expected key = value, got %q", lineNo, line)
+			}
+			key = strings.TrimSpace(key)
+			if !bareKey(key) {
+				return nil, fmt.Errorf("line %d: invalid key %q (bare keys only: letters, digits, '_', '-')", lineNo, key)
+			}
+			if _, dup := current[key]; dup {
+				return nil, fmt.Errorf("line %d: key %q set twice in the same table", lineNo, key)
+			}
+			v, err := parseTOMLValue(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			current[key] = v
+		}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing # comment, honoring quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if inStr && i > 0 && line[i-1] == '\\' {
+				continue
+			}
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func bareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// enterTable resolves (creating as needed) the nested table named by a
+// dotted [a.b.c] path.
+func enterTable(root map[string]any, path string) (map[string]any, error) {
+	cur := root
+	for _, part := range strings.Split(path, ".") {
+		part = strings.TrimSpace(part)
+		if !bareKey(part) {
+			return nil, fmt.Errorf("invalid table name %q", path)
+		}
+		switch v := cur[part].(type) {
+		case nil:
+			next := map[string]any{}
+			cur[part] = next
+			cur = next
+		case map[string]any:
+			cur = v
+		case []any:
+			// [a.b] under an array-of-tables [[a]] means the last element.
+			if len(v) == 0 {
+				return nil, fmt.Errorf("table %q indexes an empty array", path)
+			}
+			last, ok := v[len(v)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("%q is not a table", path)
+			}
+			cur = last
+		default:
+			return nil, fmt.Errorf("%q is already a value, not a table", path)
+		}
+	}
+	return cur, nil
+}
+
+// appendTable appends a new element to the array of tables named by path
+// ([[a]] or [[a.b]]) and returns it.
+func appendTable(root map[string]any, path string) (map[string]any, error) {
+	parts := strings.Split(path, ".")
+	parent := root
+	if len(parts) > 1 {
+		var err error
+		parent, err = enterTable(root, strings.Join(parts[:len(parts)-1], "."))
+		if err != nil {
+			return nil, err
+		}
+	}
+	last := strings.TrimSpace(parts[len(parts)-1])
+	if !bareKey(last) {
+		return nil, fmt.Errorf("invalid table name %q", path)
+	}
+	var arr []any
+	switch v := parent[last].(type) {
+	case nil:
+	case []any:
+		arr = v
+	default:
+		return nil, fmt.Errorf("%q is already a value, not an array of tables", path)
+	}
+	tbl := map[string]any{}
+	parent[last] = append(arr, any(tbl))
+	return tbl, nil
+}
+
+// parseTOMLValue parses one scalar or flat-array value.
+func parseTOMLValue(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing value")
+	}
+	switch {
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad string %s: %w", s, err)
+		}
+		return v, nil
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated array %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitArray(inner)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			v, err := parseTOMLValue(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := v.([]any); nested {
+				return nil, fmt.Errorf("nested arrays are outside the supported TOML subset")
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		// TOML permits '_' separators between digits.
+		num := strings.ReplaceAll(s, "_", "")
+		if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(num, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unsupported value %q (the TOML subset takes strings, numbers, booleans, and flat arrays)", s)
+	}
+}
+
+// splitArray splits a flat array body on commas, honoring quoted strings.
+func splitArray(s string) ([]string, error) {
+	var parts []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if inStr && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inStr = !inStr
+		case '[':
+			if !inStr {
+				return nil, fmt.Errorf("nested arrays are outside the supported TOML subset")
+			}
+		case ',':
+			if !inStr {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string in array")
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseTOMLSubset exercises the supported grammar: tables, dotted and
+// array-of-tables headers, scalars with '_' separators, flat arrays, and
+// comments (including '#' inside strings).
+func TestParseTOMLSubset(t *testing.T) {
+	got, err := parseTOML([]byte(`
+# top-level scalars
+name = "demo"           # trailing comment
+count = 1_000
+ratio = 2.5
+on = true
+label = "has # inside"
+nums = [1, 2, 3]
+mixed = ["a", "b"]
+empty = []
+
+[table]
+key = "v"
+
+[table.nested]
+deep = 7
+
+[[rows]]
+id = 1
+
+[[rows]]
+id = 2
+
+[rows.sub]
+x = 9
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":  "demo",
+		"count": int64(1000),
+		"ratio": 2.5,
+		"on":    true,
+		"label": "has # inside",
+		"nums":  []any{int64(1), int64(2), int64(3)},
+		"mixed": []any{"a", "b"},
+		"empty": []any{},
+		"table": map[string]any{
+			"key":    "v",
+			"nested": map[string]any{"deep": int64(7)},
+		},
+		"rows": []any{
+			map[string]any{"id": int64(1)},
+			map[string]any{"id": int64(2), "sub": map[string]any{"x": int64(9)}},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseTOML:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestParseTOMLErrors: everything outside the subset is a loud parse error
+// with a line number, never a silent skip.
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"no equals", "just words\n", "expected key = value"},
+		{"bad key", "a b = 1\n", "invalid key"},
+		{"duplicate key", "a = 1\na = 2\n", "set twice"},
+		{"unterminated header", "[table\n", "unterminated [table]"},
+		{"unterminated array header", "[[rows\n", "unterminated [[table]]"},
+		{"missing value", "a =\n", "missing value"},
+		{"bad string", `a = "oops` + "\n", "bad string"},
+		{"nested array", "a = [[1], [2]]\n", "nested arrays"},
+		{"unterminated array", "a = [1, 2\n", "unterminated array"},
+		{"datetime", "a = 2024-01-01T00:00:00Z\n", "unsupported value"},
+		{"value then table", "a = 1\n[a]\nb = 2\n", "already a value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseTOML([]byte(c.in))
+			if err == nil {
+				t.Fatalf("accepted %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error %q has no line number", err)
+			}
+		})
+	}
+}

@@ -209,6 +209,25 @@ func (s *Sender) Start() {
 	s.armTLP()
 }
 
+// Finish trims the transfer to what has already been sent (the iperf3 -t
+// time limit): no new data enters the pipe after the call, and the flow
+// completes once everything in flight is acknowledged — immediately, if it
+// already is. Retransmissions of in-flight data still happen, so the
+// truncated transfer is delivered reliably. A no-op on a finished flow, and
+// on one whose remaining bytes are already below what's been sent.
+func (s *Sender) Finish() {
+	if s.done || !s.started {
+		return
+	}
+	if s.sndNxt >= s.totalBytes {
+		return // the tail is already in flight; normal completion is imminent
+	}
+	s.totalBytes = s.sndNxt
+	if s.sndUna >= s.totalBytes {
+		s.complete(s.engine.Now())
+	}
+}
+
 // Done reports whether the transfer completed.
 func (s *Sender) Done() bool { return s.done }
 

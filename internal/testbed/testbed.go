@@ -141,16 +141,28 @@ type Testbed struct {
 	drrShard       []int
 }
 
-// New builds a dumbbell testbed.
+// New builds a dumbbell testbed with the default §3 topology, applying the
+// buffer/marking/DRR options. It is NewDumbbell with the config the paper's
+// experiments use.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
-	engine := sim.NewEngine()
 	dcfg := netsim.DefaultDumbbell(opts.Senders)
 	dcfg.BufferBytes = opts.BufferBytes
 	dcfg.MarkBytes = opts.MarkBytes
 	if opts.UseDRR {
 		dcfg.BottleneckQueue = netsim.NewDRR(opts.BufferBytes, opts.MarkBytes)
 	}
+	return NewDumbbell(opts, dcfg)
+}
+
+// NewDumbbell builds a dumbbell testbed over an explicit topology config —
+// the entry point for callers (the scenario compiler) that pick their own
+// queue disciplines, rates, or per-sender access delays. Measurement
+// machinery (meters, sensors, noise-draw order) is identical to New's, so
+// a config equal to New's produces byte-identical runs.
+func NewDumbbell(opts Options, dcfg netsim.DumbbellConfig) *Testbed {
+	opts = opts.withDefaults()
+	engine := sim.NewEngine()
 	d := netsim.NewDumbbell(engine, dcfg)
 
 	tb := &Testbed{

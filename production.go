@@ -44,7 +44,7 @@ func productionSet() []string {
 // DCTCP/DCQCN-style marking bottleneck (K = 100 KiB), which is inert for
 // the non-ECN algorithms.
 func RunProduction(o Options) (ProductionResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return ProductionResult{}, err
 	}
@@ -62,7 +62,7 @@ func RunProduction(o Options) (ProductionResult, error) {
 				return ProductionResult{}, fmt.Errorf("%s/%d: %w", name, mtu, err)
 			}
 			cell := cellFromRuns(name, mtu, runs)
-			o.logf("production: %-6s mtu %-5d energy %s J fct %s s",
+			o.Logf("production: %-6s mtu %-5d energy %s J fct %s s",
 				name, mtu, stats.Summary(cell.EnergyJ), stats.Summary(cell.FCTSecs))
 			res.Cells = append(res.Cells, cell)
 		}

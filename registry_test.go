@@ -10,8 +10,8 @@ import (
 var canonicalOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"theorem", "scheduler", "incast", "fattree-incast", "crossrack",
-	"samesender", "ablations", "frontier", "production", "workload",
-	"workload-scale",
+	"aqm-matrix", "samesender", "ablations", "frontier", "production",
+	"workload", "workload-scale", "workload-crossover",
 }
 
 func TestRegistryMetadata(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"greenenvy/internal/analysis/registryhygiene"
+	"greenenvy/internal/scenario"
 )
 
 // TestExperimentCacheIDFacts is the dynamic half of the cache-id audit.
@@ -20,7 +21,9 @@ import (
 //     namespaces interleave);
 //   - exclusivity: a non-empty prefix belongs to exactly one experiment,
 //     except "sweep", which figures 5-8 share by design (four views over
-//     one cached sweep dataset).
+//     one cached sweep dataset), and the "scenario/" namespace, which every
+//     scenario-compiled experiment shares: their cells key under the
+//     canonical spec digest inside it, so distinct specs cannot collide.
 func TestExperimentCacheIDFacts(t *testing.T) {
 	facts := registryhygiene.ExperimentCacheIDs
 
@@ -60,9 +63,21 @@ func TestExperimentCacheIDFacts(t *testing.T) {
 		}
 	}
 	for p, ns := range owners {
-		if len(ns) > 1 && p != "sweep" {
+		if len(ns) > 1 && p != "sweep" && p != registryhygiene.ScenarioCacheIDPrefix {
 			sort.Strings(ns)
 			t.Errorf("cache-id prefix %q is claimed by %v: distinct experiments must not share a cache namespace", p, ns)
 		}
+	}
+}
+
+// TestScenarioCachePrefixPinned closes the loop between the compiler and
+// the static audit: the prefix every scenario-compiled cell id starts with
+// must be the constant the registryhygiene fact table pins (and that the
+// root init guard panics over). If this fails, scenario experiments are
+// caching under a namespace the audit does not cover.
+func TestScenarioCachePrefixPinned(t *testing.T) {
+	if scenario.CachePrefix != registryhygiene.ScenarioCacheIDPrefix {
+		t.Fatalf("scenario.CachePrefix = %q, registryhygiene.ScenarioCacheIDPrefix = %q: the compiler and the static audit disagree",
+			scenario.CachePrefix, registryhygiene.ScenarioCacheIDPrefix)
 	}
 }

@@ -1,100 +1,22 @@
 package greenenvy
 
-import (
-	"os"
-	"path/filepath"
-	"sync"
+import "greenenvy/internal/registry"
 
-	"greenenvy/internal/cache"
-)
-
-// The persistent result cache memoizes deterministic simulation results on
-// disk at per-(experiment cell, repetition) granularity. Because every
-// repetition's seed is derived only from (Options.Seed, repetition index),
-// raising Reps against a warm cache reuses the already-computed repetitions
-// and simulates only the new ones, and a fully warm run touches no
-// simulation at all. Stores are opened once per process per directory so
-// hit/miss accounting accumulates across runners.
-
-var (
-	cacheMu     sync.Mutex
-	cacheStores = map[string]*cache.Store{}
-)
-
-// storeFor opens (once per process per directory) the persistent store.
-func storeFor(dir string) (*cache.Store, error) {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := cacheStores[dir]; ok {
-		return s, nil
-	}
-	s, err := cache.Open(dir, cacheVersionStamp())
-	if err != nil {
-		return nil, err
-	}
-	cacheStores[dir] = s
-	return s, nil
-}
-
-// cacheStore resolves Options to the persistent store, or nil when
-// persistence is disabled (no CacheDir, NoCache set, or the directory
-// cannot be created — experiments must keep working without a cache).
-func (o Options) cacheStore() *cache.Store {
-	if o.NoCache || o.CacheDir == "" {
-		return nil
-	}
-	s, err := storeFor(o.CacheDir)
-	if err != nil {
-		o.logf("cache: disabled: %v", err)
-		return nil
-	}
-	return s
-}
+// The persistent result cache plumbing lives in internal/registry (shared
+// with the scenario compiler); this file keeps the root package's surface.
 
 // CacheStats is this process's accumulated accounting for one persistent
-// cache directory.
-type CacheStats struct {
-	// Hits and Misses count per-repetition lookups; corrupted or
-	// version-mismatched entries count as misses.
-	Hits, Misses uint64
-	// Puts counts freshly computed results persisted.
-	Puts uint64
-	// BytesRead and BytesWritten count on-disk bytes moved.
-	BytesRead, BytesWritten uint64
-}
+// cache directory. See registry.CacheStats.
+type CacheStats = registry.CacheStats
 
 // CacheStatsFor returns the hit/miss/bytes accounting accumulated by this
 // process for the cache at dir (zero if the dir was never used).
-func CacheStatsFor(dir string) CacheStats {
-	cacheMu.Lock()
-	s := cacheStores[dir]
-	cacheMu.Unlock()
-	st := s.Stats()
-	return CacheStats{
-		Hits:         st.Hits,
-		Misses:       st.Misses,
-		Puts:         st.Puts,
-		BytesRead:    st.BytesRead,
-		BytesWritten: st.BytesWritten,
-	}
-}
+func CacheStatsFor(dir string) CacheStats { return registry.CacheStatsFor(dir) }
 
 // ClearCache empties the persistent result cache at dir (all entries, all
 // version stamps). The directory stays usable.
-func ClearCache(dir string) error {
-	s, err := storeFor(dir)
-	if err != nil {
-		return err
-	}
-	return s.Clear()
-}
+func ClearCache(dir string) error { return registry.ClearCache(dir) }
 
 // DefaultCacheDir is the conventional per-user cache location
 // (os.UserCacheDir()/greenenvy), or "" when the platform defines none.
-func DefaultCacheDir() string {
-	base, err := os.UserCacheDir()
-	if err != nil {
-		return ""
-	}
-	return filepath.Join(base, "greenenvy")
-}
+func DefaultCacheDir() string { return registry.DefaultCacheDir() }

@@ -8,18 +8,18 @@ import (
 )
 
 func TestCacheStoreResolution(t *testing.T) {
-	if (Options{CacheDir: "", NoCache: false}).cacheStore() != nil {
+	if (Options{CacheDir: "", NoCache: false}).CacheStore() != nil {
 		t.Fatal("empty CacheDir opened a store")
 	}
-	if (Options{CacheDir: t.TempDir(), NoCache: true}).cacheStore() != nil {
+	if (Options{CacheDir: t.TempDir(), NoCache: true}).CacheStore() != nil {
 		t.Fatal("NoCache did not bypass the store")
 	}
 	dir := t.TempDir()
-	s := Options{CacheDir: dir}.cacheStore()
+	s := Options{CacheDir: dir}.CacheStore()
 	if s == nil {
 		t.Fatal("valid CacheDir did not open a store")
 	}
-	if s2 := (Options{CacheDir: dir}).cacheStore(); s2 != s {
+	if s2 := (Options{CacheDir: dir}).CacheStore(); s2 != s {
 		t.Fatal("same dir resolved to a second store; stats would fragment")
 	}
 	if CacheStatsFor(dir) != (CacheStats{}) {

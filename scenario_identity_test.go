@@ -1,0 +1,91 @@
+package greenenvy
+
+import (
+	"testing"
+
+	"greenenvy/internal/scenario"
+)
+
+// The behavior-preservation contract of the scenario refactor: the fig1 and
+// fattree-incast experiments re-expressed as declarative specs must produce
+// BYTE-IDENTICAL tables to the handwritten implementations at the same
+// Options — for any worker count, since same-seed-same-bytes holds across
+// parallelism. A drift here means the compiler's construction sequence
+// diverged from the handwritten one (different RNG draw order, different
+// config defaults, different table rendering) and the spec form is no
+// longer a faithful spelling of the experiment.
+
+// loadSpec parses one of the shipped example specs.
+func loadSpec(t *testing.T, path string) scenario.Spec {
+	t.Helper()
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// runCompiled compiles a spec and runs it.
+func runCompiled(t *testing.T, spec scenario.Spec, o Options) Result {
+	t.Helper()
+	e, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScenarioFig1ByteIdentity(t *testing.T) {
+	spec := loadSpec(t, "examples/scenarios/fig1.json")
+	for _, workers := range []int{1, 4} {
+		o := Options{Reps: 2, Scale: 0.001, Seed: 1, Workers: workers, NoCache: true}
+		want, err := RunFig1(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runCompiled(t, spec, o)
+		if got.Table() != want.Table() {
+			t.Errorf("workers=%d: scenario table diverges from handwritten fig1\n--- handwritten ---\n%s--- scenario ---\n%s",
+				workers, want.Table(), got.Table())
+		}
+	}
+}
+
+func TestScenarioFatTreeIncastByteIdentity(t *testing.T) {
+	spec := loadSpec(t, "examples/scenarios/fattree-incast.json")
+	o := Options{Reps: 1, Scale: 0.001, Seed: 1, Workers: 2, NoCache: true}
+	want, err := RunFatTreeIncast(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runCompiled(t, spec, o)
+	if got.Table() != want.Table() {
+		t.Errorf("scenario table diverges from handwritten fattree-incast\n--- handwritten ---\n%s--- scenario ---\n%s",
+			want.Table(), got.Table())
+	}
+}
+
+// TestScenarioUnequalRTTExample keeps the shipped heterogeneous-RTT example
+// runnable end to end: it must parse, compile, run at tiny scale, and
+// actually give the two senders different access delays.
+func TestScenarioUnequalRTTExample(t *testing.T) {
+	spec := loadSpec(t, "examples/scenarios/unequal-rtt.toml")
+	c, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Topology.AccessDelaysUs) != 2 || c.Topology.AccessDelaysUs[0] == c.Topology.AccessDelaysUs[1] {
+		t.Fatalf("unequal-rtt example lost its heterogeneous delays: %v", c.Topology.AccessDelaysUs)
+	}
+	res := runCompiled(t, spec, Options{Reps: 2, Scale: 0.001, Seed: 1, NoCache: true})
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+	if svg, err := res.SVG(); err != nil || len(svg) == 0 {
+		t.Fatalf("svg: %v", err)
+	}
+}

@@ -1,35 +1,9 @@
 package greenenvy
 
-// fig5GoldenDigest is the SHA-256 over every measurement in the reduced-scale
-// Figure-5 sweep at seed 1 (see TestFig5SweepGoldenDigest). It pins the
-// simulator's determinism across refactors: the event engine, timers, queues
-// and delay lines may be rewritten freely, but same-seed results must stay
-// bit-identical. The constant was captured on the pre-optimization
-// container/heap engine (PR 2), so it also proves the allocation-free engine
-// reproduces the original event ordering exactly.
-//
-// It does double duty as the persistent result cache's simulator version
-// stamp (see cacheVersionStamp): a PR that intentionally changes simulation
-// behaviour must regenerate this constant, and doing so automatically
-// invalidates every cached result computed under the old semantics.
-//
-// If a PR changes simulation *behaviour* on purpose (new CCA dynamics, cost
-// model changes, ...), regenerate with:
-//
-//	go test -run TestFig5SweepGoldenDigest -v
-//
-// and update the constant in the same commit, explaining why in CHANGES.md.
-// Never update it to paper over an unexplained mismatch: that is the test
-// catching a determinism bug.
-const fig5GoldenDigest = "4d48a93ef9514caf8c8444854133d31f2d7ab1cb1038230be0dcb2d7268e753a"
+import "greenenvy/internal/registry"
 
-// cacheSchema versions the persistent cache's key derivation and the gob
-// shapes of the cached result structs. Bump it when either changes form
-// without a simulator-behaviour change (which fig5GoldenDigest covers).
-const cacheSchema = "greenenvy-cache-3"
-
-// cacheVersionStamp is the version identity mixed into every persistent
-// cache key: entries are only ever returned to a binary whose simulator
-// semantics (golden sweep digest) and cache encoding (schema) both match
-// the writer's.
-func cacheVersionStamp() string { return cacheSchema + ":" + fig5GoldenDigest }
+// fig5GoldenDigest pins the simulator's determinism across refactors and
+// doubles as the persistent cache's version stamp; it lives in
+// internal/registry (registry.Fig5GoldenDigest) next to the cache plumbing
+// it versions. See that constant for the regeneration policy.
+const fig5GoldenDigest = registry.Fig5GoldenDigest

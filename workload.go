@@ -52,7 +52,7 @@ func init() {
 // hosts; energy is the sum over senders from experiment start until the
 // last flow completes.
 func RunWorkload(o Options) (WorkloadResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return WorkloadResult{}, err
 	}
@@ -119,7 +119,7 @@ func RunWorkload(o Options) (WorkloadResult, error) {
 				P99FCTms:    stats.Mean(p99FCTs),
 				GBMoved:     stats.Mean(gbs),
 			})
-			o.logf("workload: %s load %.1f: %.1f J/GB, mean fct %.2f ms",
+			o.Logf("workload: %s load %.1f: %.1f J/GB, mean fct %.2f ms",
 				dist.Name(), load, res.Points[len(res.Points)-1].EnergyPerGB,
 				res.Points[len(res.Points)-1].MeanFCTms)
 		}

@@ -78,7 +78,7 @@ const workloadScaleSizeFactor = 0.01
 // online flow creation mid-run, so this experiment always uses the
 // monolithic engine and Options.Shards does not affect its results.
 func RunWorkloadScale(o Options) (WorkloadScaleResult, error) {
-	o, err := o.withDefaults()
+	o, err := o.WithDefaults()
 	if err != nil {
 		return WorkloadScaleResult{}, err
 	}
@@ -162,7 +162,7 @@ func RunWorkloadScale(o Options) (WorkloadScaleResult, error) {
 				GBMoved:        avg(fr, func(r testbed.StreamResult) float64 { return float64(r.Bytes) / 1e9 }),
 			}
 			res.Points = append(res.Points, p)
-			o.logf("workload-scale: %s load %.1f: fair %.1f J/GB, envy %.1f J/GB (%+.1f%%), p99 %.2f -> %.2f ms",
+			o.Logf("workload-scale: %s load %.1f: fair %.1f J/GB, envy %.1f J/GB (%+.1f%%), p99 %.2f -> %.2f ms",
 				base.Name(), load, p.FairJPerGB, p.EnvyJPerGB, p.EnergyDeltaPct, p.FairP99ms, p.EnvyP99ms)
 		}
 	}
