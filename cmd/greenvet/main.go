@@ -1,7 +1,18 @@
 // Command greenvet is the determinism and hot-path vet driver for this
 // module: it runs the internal/analysis suite (nodeterminism, floatorder,
-// hotpathalloc, registryhygiene) over the packages each analyzer guards
-// and exits non-zero on any finding.
+// hotpathalloc, shardsafety, cachelineage, registryhygiene) over the
+// packages each analyzer guards and exits non-zero on any finding.
+//
+// Every run also audits the //greenvet:allow directives themselves: an
+// allow that no longer suppresses any diagnostic — because the code it
+// excused was refactored away, it names an analyzer that does not exist,
+// or it sits in a package the named analyzer does not guard — is reported
+// as a `staleallow` finding and fails the run like any other. An allow is
+// a reviewed claim about specific code; once the code is gone the claim
+// must go too, or it will silently excuse the next unrelated diagnostic
+// that lands on its line. (Vettool mode audits the packages the suite
+// guards; standalone mode additionally sweeps unguarded packages, where
+// every allow is stale by definition.)
 //
 // Two invocation styles:
 //
@@ -42,6 +53,7 @@ func main() {
 		for _, s := range suite.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", s.Analyzer.Name, s.Analyzer.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", "staleallow", "report //greenvet:allow directives that no longer suppress any diagnostic (always on)")
 	}
 	flag.Parse()
 
@@ -88,20 +100,56 @@ func standalone(patterns []string) int {
 	return 0
 }
 
-// runSuite applies every analyzer whose scope covers importPath.
+// runSuite applies every analyzer whose scope covers importPath, then
+// audits the package's //greenvet:allow directives against the
+// suppressions that actually happened.
 func runSuite(importPath string, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
 	var out []analysis.Diagnostic
+	used := map[analysis.AllowKey]bool{}
+	applicable := map[string]bool{}
 	for _, s := range suite.Suite() {
 		if !s.AppliesTo(importPath) {
 			continue
 		}
-		diags, err := analysis.Run(s.Analyzer, fset, files, pkg, info)
+		applicable[s.Analyzer.Name] = true
+		diags, err := analysis.RunWithUsage(s.Analyzer, fset, files, pkg, info, used)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, diags...)
 	}
+	out = append(out, staleAllows(importPath, fset, files, used, applicable)...)
 	return out, nil
+}
+
+// staleAllows reports every allow directive that suppressed nothing this
+// run, with the most specific reason it is dead weight.
+func staleAllows(importPath string, fset *token.FileSet, files []*ast.File, used map[analysis.AllowKey]bool, applicable map[string]bool) []analysis.Diagnostic {
+	known := map[string]bool{}
+	for _, s := range suite.Suite() {
+		known[s.Analyzer.Name] = true
+	}
+	var out []analysis.Diagnostic
+	for _, a := range analysis.Allows(fset, files) {
+		if used[a.AllowKey] {
+			continue
+		}
+		var why string
+		switch {
+		case !known[a.Analyzer]:
+			why = fmt.Sprintf("no analyzer named %q exists", a.Analyzer)
+		case !applicable[a.Analyzer]:
+			why = fmt.Sprintf("analyzer %q does not guard package %s", a.Analyzer, importPath)
+		default:
+			why = "it no longer suppresses any diagnostic"
+		}
+		out = append(out, analysis.Diagnostic{
+			Pos:      a.Pos,
+			Analyzer: "staleallow",
+			Message:  fmt.Sprintf("stale //greenvet:allow %s: %s; a dead allow silently excuses the next diagnostic that lands here — remove it", a.Analyzer, why),
+		})
+	}
+	return out
 }
 
 func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {

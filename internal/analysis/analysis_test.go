@@ -1,0 +1,134 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"greenenvy/internal/analysis"
+)
+
+const allowSrc = `package fixture
+
+func a() int {
+	x := 1 //greenvet:allow toy covered same line
+	//greenvet:allow toy covers the line below
+	y := 2
+	//greenvet:allow toy,other two analyzers, one use
+	z := 3
+	w := 4 //greenvet:allow ghost never fires
+	return x + y + z + w
+}
+`
+
+// load typechecks one import-free source string.
+func load(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// toyAnalyzer reports one diagnostic per short-variable definition.
+var toyAnalyzer = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "flag every := for the kernel tests",
+	Run: func(pass *analysis.Pass) (any, error) {
+		pass.Inspect(func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				pass.Reportf(as.Pos(), "definition")
+			}
+			return true
+		})
+		return nil, nil
+	},
+}
+
+func TestRunWithUsageRecordsSuppressions(t *testing.T) {
+	fset, files, pkg, info := load(t, allowSrc)
+	used := map[analysis.AllowKey]bool{}
+	diags, err := analysis.RunWithUsage(toyAnalyzer, fset, files, pkg, info, used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x (line 4), y (line 6), z (line 8) are suppressed; w (line 9) has
+	// only a ghost-analyzer allow and must be reported.
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the unsuppressed definition", diags)
+	}
+	if pos := fset.Position(diags[0].Pos); pos.Line != 9 {
+		t.Fatalf("surviving diagnostic on line %d, want 9", pos.Line)
+	}
+	wantUsed := []analysis.AllowKey{
+		{File: "fixture.go", Line: 4, Analyzer: "toy"},
+		{File: "fixture.go", Line: 5, Analyzer: "toy"},
+		{File: "fixture.go", Line: 7, Analyzer: "toy"},
+	}
+	if len(used) != len(wantUsed) {
+		t.Fatalf("used = %v, want %v", used, wantUsed)
+	}
+	for _, k := range wantUsed {
+		if !used[k] {
+			t.Errorf("used is missing %+v (have %v)", k, used)
+		}
+	}
+}
+
+func TestAllowsEnumeratesEveryClaim(t *testing.T) {
+	fset, files, _, _ := load(t, allowSrc)
+	var got []string
+	for _, a := range analysis.Allows(fset, files) {
+		got = append(got, a.File+":"+itoa(a.Line)+":"+a.Analyzer)
+	}
+	want := []string{
+		"fixture.go:4:toy",
+		"fixture.go:5:toy",
+		"fixture.go:7:toy",
+		"fixture.go:7:other",
+		"fixture.go:9:ghost",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("Allows = %v, want %v", got, want)
+	}
+}
+
+func TestRunLeavesUsageUntracked(t *testing.T) {
+	fset, files, pkg, info := load(t, allowSrc)
+	diags, err := analysis.Run(toyAnalyzer, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("Run diagnostics = %v, want 1", diags)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -32,7 +32,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"greenenvy/internal/analysis"
 )
@@ -67,7 +66,7 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			decls[fn] = fd
 			order = append(order, fn)
-			if hasHotDirective(fd.Doc) {
+			if analysis.HasDirective(fd.Doc, HotPathDirective) {
 				roots = append(roots, fn)
 			}
 		}
@@ -107,19 +106,6 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 	}
 	return nil, nil
-}
-
-// hasHotDirective reports whether the doc comment carries the directive.
-func hasHotDirective(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == HotPathDirective {
-			return true
-		}
-	}
-	return false
 }
 
 // allocatingCalls maps package path → function names that always allocate.

@@ -53,6 +53,34 @@ func orderedSinks(m map[string]float64) string {
 	return total + b.String() + strings.Join(derived, ",")
 }
 
+// taggedCollect is the sharded engine's arrival-seq idiom: each appended
+// element embeds the loop key (its rank), so the slice is canonically
+// reorderable after the loop and map order cannot leak into results.
+func taggedCollect(m map[int]string) {
+	type tagged struct {
+		Seq  int
+		Item string
+	}
+	var collected []tagged
+	var anon []struct {
+		Seq  int
+		Item string
+	}
+	var ptrs []*tagged
+	var untagged []tagged
+	for k, v := range m {
+		collected = append(collected, tagged{Seq: k, Item: v + "!"}) // tagged by the key: reorderable, allowed
+		anon = append(anon, struct {
+			Seq  int
+			Item string
+		}{k, v})
+		ptrs = append(ptrs, &tagged{Seq: k, Item: v})      // &T{...} form, allowed
+		untagged = append(untagged, tagged{Item: v + "!"}) // want `append of a derived value inside map iteration`
+	}
+	sort.Slice(collected, func(i, j int) bool { return collected[i].Seq < collected[j].Seq })
+	_, _, _ = anon, ptrs, untagged
+}
+
 func spelledOutConcat(m map[int]string) string {
 	s := ""
 	for _, v := range m {

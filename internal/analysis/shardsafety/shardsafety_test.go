@@ -1,0 +1,17 @@
+package shardsafety_test
+
+import (
+	"testing"
+
+	"greenenvy/internal/analysis/analysistest"
+	"greenenvy/internal/analysis/shardsafety"
+)
+
+// TestShardsafety runs the analyzer over a stand-in model of the sharded
+// engine, exercising every rule: boundary-confined SetRemote/NewConduit,
+// clock-anchored Send due times, LBTS escapes in round code, and
+// cross-shard state touches from shard-scoped closures (including the
+// seeded direct cross-shard meter sweep in badSampler).
+func TestShardsafety(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafety.Analyzer)
+}

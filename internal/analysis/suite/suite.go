@@ -10,17 +10,26 @@
 //     but not to cmd/ (bench timing legitimately reads the wall clock) or
 //     to rapl/stress (they measure real hardware, which is the point);
 //   - hotpathalloc applies where //greenvet:hotpath roots live: the event
-//     engine and the per-packet path;
+//     engine, the per-packet path, and (since the PR 8/9 subsystems grew
+//     hot loops of their own) the streaming-replay and measurement
+//     packages;
+//   - shardsafety applies where the sharded engine's vocabulary means the
+//     real thing: the engine itself, the partitioned topology, and the
+//     harness that drives per-shard runs;
+//   - cachelineage applies where Options/Spec fields are declared,
+//     canonicalized, and compiled into simulation inputs;
 //   - registryhygiene applies only to the root package, where Register
 //     calls and the experiment catalogue live.
 package suite
 
 import (
 	"greenenvy/internal/analysis"
+	"greenenvy/internal/analysis/cachelineage"
 	"greenenvy/internal/analysis/floatorder"
 	"greenenvy/internal/analysis/hotpathalloc"
 	"greenenvy/internal/analysis/nodeterminism"
 	"greenenvy/internal/analysis/registryhygiene"
+	"greenenvy/internal/analysis/shardsafety"
 )
 
 // Scoped pairs an analyzer with the packages it applies to.
@@ -61,13 +70,35 @@ var resultAffecting = []string{
 }
 
 // hotPath are the packages containing //greenvet:hotpath roots: the event
-// engine and everything on the per-packet path.
+// engine, everything on the per-packet path, and the PR 8/9 hot loops —
+// the pooled churn driver (testbed/iperf), the open-loop arrival process
+// (workload), and the online P² aggregation (stats).
 var hotPath = []string{
 	"greenenvy/internal/sim",
 	"greenenvy/internal/netsim",
 	"greenenvy/internal/tcp",
 	"greenenvy/internal/cca",
 	"greenenvy/internal/energy",
+	"greenenvy/internal/iperf",
+	"greenenvy/internal/testbed",
+	"greenenvy/internal/workload",
+	"greenenvy/internal/stats",
+}
+
+// shardSafe are the packages where shardsafety's type vocabulary
+// (ShardGroup, Conduit, Link, Testbed) means the real sharded engine.
+var shardSafe = []string{
+	"greenenvy/internal/sim",
+	"greenenvy/internal/netsim",
+	"greenenvy/internal/testbed",
+}
+
+// cacheLineage are the packages declaring, canonicalizing, or compiling
+// the audited option/spec structs.
+var cacheLineage = []string{
+	"greenenvy",
+	"greenenvy/internal/registry",
+	"greenenvy/internal/scenario",
 }
 
 // Suite returns every analyzer with its package scope.
@@ -76,6 +107,8 @@ func Suite() []Scoped {
 		{Analyzer: nodeterminism.Analyzer, Paths: resultAffecting},
 		{Analyzer: floatorder.Analyzer, Paths: resultAffecting},
 		{Analyzer: hotpathalloc.Analyzer, Paths: hotPath},
+		{Analyzer: shardsafety.Analyzer, Paths: shardSafe},
+		{Analyzer: cachelineage.Analyzer, Paths: cacheLineage},
 		{Analyzer: registryhygiene.Analyzer, Paths: []string{"greenenvy"}},
 	}
 }

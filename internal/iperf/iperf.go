@@ -181,7 +181,7 @@ func (c *Client) Reset(spec Spec, srcHost, dstHost *netsim.Host, srcAccount, dst
 
 	cc := c.sender.CC()
 	if cc.Name() != spec.CCA || !cca.Restart(cc) {
-		fresh, err := cca.New(spec.CCA) //greenvet:allow hotpathalloc fresh controller only when the pooled flow changes algorithm; same-CCA churn restarts in place
+		fresh, err := cca.New(spec.CCA)
 		if err != nil {
 			return err
 		}

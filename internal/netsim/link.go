@@ -66,8 +66,23 @@ func NewLink(engine *sim.Engine, name string, rateBps int64, delay sim.Duration,
 
 // SetRemote diverts the link's propagation stage through an inter-shard
 // conduit: packets finish serializing here, then arrive at the far
-// partition Delay later. Must be set before traffic flows.
-func (l *Link) SetRemote(c *sim.Conduit[*Packet]) { l.remote = c }
+// partition Delay later. The conduit's lookahead must equal the link's
+// propagation delay — that equality is what lets the conservative
+// synchronizer treat the wire itself as the safety margin — and the switch
+// must happen before any traffic flows, or in-flight packets on the local
+// delay line would arrive out of order with conduit deliveries.
+func (l *Link) SetRemote(c *sim.Conduit[*Packet]) {
+	if c == nil {
+		panic(fmt.Sprintf("netsim: link %q SetRemote(nil)", l.Name))
+	}
+	if c.Delay() != l.Delay {
+		panic(fmt.Sprintf("netsim: link %q delay %v != conduit lookahead %v", l.Name, l.Delay, c.Delay()))
+	}
+	if l.TxPackets > 0 || l.busy {
+		panic(fmt.Sprintf("netsim: link %q SetRemote after traffic has flowed", l.Name))
+	}
+	l.remote = c
+}
 
 // Queue exposes the link's queue discipline (for weight configuration and
 // stats inspection).

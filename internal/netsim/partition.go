@@ -76,6 +76,12 @@ func (l fatTreeLayout) bindCoreToPod(lnk *Link, c, p int, dst Handler) {
 	l.bindAcross(lnk, l.part.CoreShard(c), l.part.PodShard(p), dst)
 }
 
+// bindAcross is the partition cut: when a link's endpoints land on
+// different shards, its propagation stage is diverted through a conduit
+// whose lookahead is exactly the link delay. Same-shard links keep the
+// direct wire.
+//
+//greenvet:shardboundary
 func (l fatTreeLayout) bindAcross(lnk *Link, srcShard, dstShard int, dst Handler) {
 	if srcShard == dstShard {
 		return

@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"testing"
+
+	"greenenvy/internal/sim"
+)
+
+// TestFatTreePartitionTotality checks that every pod, core and host lands
+// on exactly one in-range shard, for a spread of arities. Totality is the
+// precondition for the shard-isolation contract: an element outside every
+// shard would have no owning engine at all.
+func TestFatTreePartitionTotality(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 6, 8} {
+		part := FatTreePartition{K: k}
+		if part.Shards() != k {
+			t.Fatalf("k=%d: %d shards, want one per pod", k, part.Shards())
+		}
+		for pod := 0; pod < k; pod++ {
+			if s := part.PodShard(pod); s < 0 || s >= part.Shards() {
+				t.Errorf("k=%d: pod %d on out-of-range shard %d", k, pod, s)
+			}
+		}
+		for c := 0; c < (k/2+1)*(k/2+1); c++ {
+			if s := part.CoreShard(c); s < 0 || s >= part.Shards() {
+				t.Errorf("k=%d: core %d on out-of-range shard %d", k, c, s)
+			}
+		}
+	}
+
+	// On a built tree, every host's shard must be in range and agree with
+	// the pod arithmetic.
+	g := sim.NewShardGroup(4)
+	ft := NewFatTreeSharded(g, DefaultFatTree(4))
+	for h := 0; h < ft.NumHosts(); h++ {
+		s := ft.ShardOfHost(NodeID(h))
+		if s < 0 || s >= g.Shards() {
+			t.Fatalf("host %d on out-of-range shard %d", h, s)
+		}
+		if want := ft.Partition().PodShard(ft.Pod(NodeID(h))); s != want {
+			t.Fatalf("host %d on shard %d, pod arithmetic says %d", h, s, want)
+		}
+		if ft.EngineOf(NodeID(h)) != g.Engine(s) {
+			t.Fatalf("host %d driven by a different engine than its shard's", h)
+		}
+	}
+}
+
+// TestSingleShardLayoutEqualsMonolithic pins the degenerate partition: with
+// one shard (or no group at all) every element maps to the same engine and
+// no link is ever diverted through a conduit — the build is the monolithic
+// build.
+func TestSingleShardLayoutEqualsMonolithic(t *testing.T) {
+	g := sim.NewShardGroup(1)
+	lay := fatTreeLayout{group: g, part: FatTreePartition{K: 1}}
+	for c := 0; c < 9; c++ {
+		if lay.core(c) != g.Engine(0) {
+			t.Fatalf("core %d not on the single shard's engine", c)
+		}
+	}
+	if lay.pod(0) != g.Engine(0) {
+		t.Fatal("pod 0 not on the single shard's engine")
+	}
+	sink := HandlerFunc(func(*Packet) {})
+	lnk := NewLink(g.Engine(0), "same-shard", 1e9, sim.Microsecond, NewDropTail(0, 0), sink)
+	lay.bindAcross(lnk, 0, 0, sink)
+	if lnk.remote != nil {
+		t.Fatal("same-shard bindAcross installed a conduit; the direct wire must stay")
+	}
+
+	// No group at all: the bind helpers are no-ops and both element lookups
+	// return the monolithic engine.
+	e := sim.NewEngine()
+	mono := fatTreeLayout{engine: e}
+	if mono.pod(3) != e || mono.core(7) != e {
+		t.Fatal("monolithic layout must route every element to the one engine")
+	}
+	mlnk := NewLink(e, "mono", 1e9, sim.Microsecond, NewDropTail(0, 0), sink)
+	mono.bindPodToCore(mlnk, 0, 1, sink)
+	mono.bindCoreToPod(mlnk, 1, 0, sink)
+	if mlnk.remote != nil {
+		t.Fatal("monolithic layout must never install conduits")
+	}
+}
+
+// TestShardedFatTreeMatchesMonolithic delivers one packet between every
+// ordered host pair on a sharded k=4 tree and checks the partition's
+// contract against the monolithic build: the same flows arrive (routing and
+// ECMP are identical), nothing is dropped for lack of a route, and the
+// sharded arrival times are byte-identical for every worker count. Arrival
+// instants under contention may legitimately differ from the monolithic
+// build — simultaneous arrivals from different pods tie-break through
+// per-shard heaps and conduit ordinals instead of one global heap — so
+// exact timing equality is asserted only for an uncontended probe packet.
+func TestShardedFatTreeMatchesMonolithic(t *testing.T) {
+	cfg := DefaultFatTree(4)
+	cfg.ECMPSeed = 7
+
+	// Monolithic reference: arrival time per flow.
+	e := sim.NewEngine()
+	mono := NewFatTree(e, cfg)
+	n := mono.NumHosts()
+	wantAt := make(map[FlowID]sim.Time)
+	inject := func(ft *FatTree, record func(dst NodeID, id FlowID, at sim.Time)) {
+		flow := FlowID(0)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				flow++
+				id, to := flow, NodeID(dst)
+				eng := ft.EngineOf(to)
+				ft.Hosts[dst].Attach(id, HandlerFunc(func(p *Packet) { record(to, id, eng.Now()) }))
+				ft.Hosts[src].Send(&Packet{Flow: id, Dst: to, WireSize: 1500})
+			}
+		}
+	}
+	inject(mono, func(_ NodeID, id FlowID, at sim.Time) { wantAt[id] = at })
+	e.Run()
+
+	// Sharded build under every worker count: each destination's handler
+	// runs on its own pod's shard, so arrivals are recorded per pod and
+	// merged after the run.
+	var baseline map[FlowID]sim.Time
+	for _, workers := range []int{1, 2, 4} {
+		g := sim.NewShardGroup(4)
+		ft := NewFatTreeSharded(g, cfg)
+		perPod := make([]map[FlowID]sim.Time, 4)
+		for p := range perPod {
+			perPod[p] = make(map[FlowID]sim.Time)
+		}
+		inject(ft, func(dst NodeID, id FlowID, at sim.Time) { perPod[ft.Pod(dst)][id] = at })
+		g.Run(sim.Second, workers)
+
+		gotAt := make(map[FlowID]sim.Time, len(wantAt))
+		for _, m := range perPod {
+			for id, at := range m {
+				gotAt[id] = at
+			}
+		}
+		if len(gotAt) != len(wantAt) {
+			t.Fatalf("workers=%d: %d deliveries, monolithic had %d", workers, len(gotAt), len(wantAt))
+		}
+		for id := range wantAt {
+			if _, ok := gotAt[id]; !ok {
+				t.Fatalf("workers=%d: flow %d delivered monolithically but not sharded", workers, id)
+			}
+		}
+		for _, sw := range ft.Switches() {
+			if sw.DroppedNoRoute != 0 {
+				t.Fatalf("workers=%d: switch %s dropped %d packets with no route", workers, sw.Name, sw.DroppedNoRoute)
+			}
+		}
+		if baseline == nil {
+			baseline = gotAt
+			continue
+		}
+		for id, want := range baseline {
+			if gotAt[id] != want {
+				t.Fatalf("workers=%d: flow %d arrived at %d, workers=1 at %d", workers, id, gotAt[id], want)
+			}
+		}
+	}
+
+	// Uncontended probe: one lone inter-pod packet meets no queueing, so the
+	// cut must reproduce the monolithic arrival instant exactly — the
+	// conduit spends precisely the wire's propagation delay.
+	probe := func(build func() *FatTree, run func(*FatTree)) sim.Time {
+		ft := build()
+		var at sim.Time
+		eng := ft.EngineOf(12)
+		ft.Hosts[12].Attach(9999, HandlerFunc(func(p *Packet) { at = eng.Now() }))
+		ft.Hosts[0].Send(&Packet{Flow: 9999, Dst: 12, WireSize: 1500})
+		run(ft)
+		return at
+	}
+	monoAt := probe(
+		func() *FatTree { return NewFatTree(sim.NewEngine(), cfg) },
+		func(ft *FatTree) { ft.Engine.Run() },
+	)
+	shardAt := probe(
+		func() *FatTree { return NewFatTreeSharded(sim.NewShardGroup(4), cfg) },
+		func(ft *FatTree) { ft.Group.Run(sim.Second, 2) },
+	)
+	if monoAt == 0 || shardAt != monoAt {
+		t.Fatalf("uncontended probe arrived at %d sharded, %d monolithic", shardAt, monoAt)
+	}
+}
+
+// TestNewFatTreeShardedValidation checks the constructor's guard rails: the
+// group must hold exactly one shard per pod, and the link delay must be
+// positive because it doubles as the conservative synchronizer's lookahead.
+func TestNewFatTreeShardedValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("wrong group size", func() {
+		NewFatTreeSharded(sim.NewShardGroup(3), DefaultFatTree(4))
+	})
+	mustPanic("zero link delay", func() {
+		cfg := DefaultFatTree(4)
+		cfg.LinkDelay = 0
+		NewFatTreeSharded(sim.NewShardGroup(4), cfg)
+	})
+}
+
+// TestSetRemoteRejectsOutOfBoundary checks that a link refuses a conduit
+// that does not match its own propagation stage: a nil conduit, a conduit
+// whose lookahead disagrees with the link delay, or a rebind after packets
+// have already ridden the local delay line.
+func TestSetRemoteRejectsOutOfBoundary(t *testing.T) {
+	sink := HandlerFunc(func(*Packet) {})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	g := sim.NewShardGroup(2)
+	lnk := NewLink(g.Engine(0), "cut", 1e9, 5*sim.Microsecond, NewDropTail(0, 0), sink)
+	mustPanic("nil conduit", func() { lnk.SetRemote(nil) })
+	mustPanic("lookahead mismatch", func() {
+		lnk.SetRemote(sim.NewConduit(g, 0, 1, sim.Microsecond, sink.HandlePacket))
+	})
+	// A matching conduit is accepted.
+	lnk.SetRemote(sim.NewConduit(g, 0, 1, 5*sim.Microsecond, sink.HandlePacket))
+
+	// Traffic first, rebind second: rejected, because packets in flight on
+	// the local delay line would race conduit deliveries.
+	g2 := sim.NewShardGroup(2)
+	used := NewLink(g2.Engine(0), "used", 1e9, 5*sim.Microsecond, NewDropTail(0, 0), sink)
+	used.HandlePacket(&Packet{WireSize: 100})
+	g2.Engine(0).Run()
+	mustPanic("SetRemote after traffic", func() {
+		used.SetRemote(sim.NewConduit(g2, 0, 1, 5*sim.Microsecond, sink.HandlePacket))
+	})
+}

@@ -511,6 +511,11 @@ func (c *Conduit[T]) src() int            { return c.srcID }
 func (c *Conduit[T]) dst() int            { return c.dstID }
 func (c *Conduit[T]) lookahead() Duration { return c.delay }
 
+// Delay returns the conduit's lookahead: the minimum source-to-destination
+// latency promised at construction. Callers binding a conduit behind a
+// physical link can check it against the link's propagation delay.
+func (c *Conduit[T]) Delay() Duration { return c.delay }
+
 // Send hands item to the destination shard for delivery at absolute time
 // at. Must be called from the source shard's event callbacks (that is what
 // makes send order, and thus arrival order, deterministic). at must respect

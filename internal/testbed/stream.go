@@ -356,12 +356,14 @@ func (sr *streamRun) hostsFor(a FlowArrival) (src, dst *netsim.Host, srcMeter, d
 	tb := sr.tb
 	if tb.Net != nil {
 		if a.Src < 0 || a.Src >= len(tb.Net.Senders) {
+			//greenvet:allow hotpathalloc invalid-arrival error path aborts the stream run; never taken steady-state
 			return nil, nil, 0, 0, fmt.Errorf("testbed: stream sender %d out of range", a.Src)
 		}
 		return tb.Net.Senders[a.Src], tb.Net.Receiver, a.Src, len(tb.Meters) - 1, nil
 	}
 	n := tb.Fat.NumHosts()
 	if a.Src < 0 || a.Src >= n || a.Dst < 0 || a.Dst >= n || a.Src == a.Dst {
+		//greenvet:allow hotpathalloc invalid-arrival error path aborts the stream run; never taken steady-state
 		return nil, nil, 0, 0, fmt.Errorf("testbed: stream endpoints %d -> %d invalid for %d hosts", a.Src, a.Dst, n)
 	}
 	srcID, dstID := netsim.NodeID(a.Src), netsim.NodeID(a.Dst)
@@ -377,7 +379,7 @@ func (sr *streamRun) acct(meter int) *energy.Account {
 		sr.accts = append(sr.accts, nil) //greenvet:allow hotpathalloc grows once per distinct host, not per flow
 	}
 	if sr.accts[meter] == nil {
-		sr.accts[meter] = energy.NewAccount(sr.tb.Meters[meter], sr.ccaName) //greenvet:allow hotpathalloc one account per (host, algorithm) for the whole stream
+		sr.accts[meter] = energy.NewAccount(sr.tb.Meters[meter], sr.ccaName)
 	}
 	return sr.accts[meter]
 }
@@ -438,7 +440,6 @@ func (sr *streamRun) launch(a FlowArrival) {
 		}
 		sr.res.PoolReuses++
 	} else {
-		//greenvet:allow hotpathalloc pool miss: client construction happens once per peak-concurrency slot, then recycles
 		c, err := iperf.NewClient(tb.Engine, spec, src, dst, sr.acct(srcM), sr.acct(dstM))
 		if err != nil {
 			sr.fail(err)
@@ -462,7 +463,7 @@ func (sr *streamRun) launch(a FlowArrival) {
 
 // doneFunc binds the completion callback for one pool entry, once.
 func (sr *streamRun) doneFunc(e *pooledClient) func() {
-	return func() { sr.onFlowDone(e) }
+	return func() { sr.onFlowDone(e) } //greenvet:allow hotpathalloc bound once per pool entry at construction, reused across every recycle
 }
 
 // onFlowDone retires one flow: fold its sojourn into the aggregates,
